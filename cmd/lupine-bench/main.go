@@ -1,0 +1,67 @@
+// Command lupine-bench runs the paper-reproduction experiments and prints
+// the corresponding tables and figure series.
+//
+// Usage:
+//
+//	lupine-bench -list
+//	lupine-bench [-run id[,id...]]   (default: all)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lupine/internal/experiments"
+	"lupine/internal/metrics"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "", "comma-separated experiment ids (default all)")
+	csv := flag.Bool("csv", false, "emit tables as CSV (for plotting)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *run == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, err := experiments.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := 0
+	for _, e := range selected {
+		start := time.Now()
+		out, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: FAILED: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		if tbl, ok := out.(*metrics.Table); ok && *csv {
+			fmt.Printf("# %s\n%s\n", e.ID, tbl.CSV())
+			continue
+		}
+		fmt.Printf("# %s — %s (wall %.1fs)\n\n%s\n", e.ID, e.Title,
+			time.Since(start).Seconds(), out)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,97 @@
+// Command lupine-run builds and boots a Lupine unikernel under a monitor,
+// runs the application to its success criterion, and prints the boot
+// timeline and console.
+//
+// Usage:
+//
+//	lupine-run -app redis [-kml] [-monitor firecracker|qemu] [-mem 512]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lupine/internal/apps"
+	"lupine/internal/core"
+	"lupine/internal/guest"
+	"lupine/internal/kerneldb"
+	"lupine/internal/vmm"
+)
+
+func main() {
+	appName := flag.String("app", "hello-world", "application to run")
+	kml := flag.Bool("kml", false, "use the KML variant")
+	monitor := flag.String("monitor", "firecracker", "monitor: firecracker, qemu, solo5-hvt, uhyve")
+	memMiB := flag.Int64("mem", 512, "guest memory in MiB")
+	serve := flag.Bool("serve", false, "run the full server loop with a benchmark client")
+	flag.Parse()
+
+	a, err := apps.Lookup(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	var mon *vmm.Monitor
+	switch *monitor {
+	case "firecracker":
+		mon = vmm.Firecracker()
+	case "qemu":
+		mon = vmm.QEMU()
+	case "solo5-hvt":
+		mon = vmm.Solo5HVT()
+	case "uhyve":
+		mon = vmm.UHyve()
+	default:
+		fatal(fmt.Errorf("unknown monitor %q", *monitor))
+	}
+
+	db, err := kerneldb.Load()
+	if err != nil {
+		fatal(err)
+	}
+	spec := core.Spec{
+		Manifest: a.Manifest(),
+		Image:    a.ContainerImage(),
+		Program:  func(p *guest.Proc, probeOnly bool) int { return a.Main(p, probeOnly) },
+	}
+	u, err := core.Build(db, spec, core.BuildOpts{KML: *kml})
+	if err != nil {
+		fatal(err)
+	}
+	vm, err := u.Boot(core.BootOpts{
+		Monitor:   mon,
+		Memory:    *memMiB << 20,
+		ProbeOnly: !*serve,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *serve && a.Port > 0 {
+		var res apps.BenchResult
+		if *appName == "redis" || *appName == "memcached" {
+			apps.SpawnRedisBenchmark(vm.Guest, a.Port, 1000, "get", &res)
+		} else {
+			apps.SpawnAB(vm.Guest, a.Port, 10, 100, &res)
+		}
+		defer func() { fmt.Printf("\nbenchmark: %s\n", res) }()
+	}
+	if err := vm.Run(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("boot timeline (%s on %s):\n%s\n", u.Kernel.Name, mon.Name, vm.Boot)
+	fmt.Println("console:")
+	fmt.Print(vm.Console())
+	if vm.Succeeded(a.SuccessText) {
+		fmt.Printf("\nsuccess criterion met: %q\n", a.SuccessText)
+	} else {
+		fmt.Printf("\nsuccess criterion NOT met: %q\n", a.SuccessText)
+		os.Exit(1)
+	}
+	fmt.Printf("guest memory peak: %d MiB\n", vm.Guest.MemPeak()/guest.MiB)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lupine-run:", err)
+	os.Exit(1)
+}

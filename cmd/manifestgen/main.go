@@ -1,0 +1,92 @@
+// Command manifestgen derives an application manifest automatically by
+// the §4.1 process: boot the app on lupine-base, read the console error,
+// map it to a kernel option, add it, repeat until the success criterion
+// appears. What took the authors 1-3 hours per application takes the
+// simulator a few boots.
+//
+// Usage:
+//
+//	manifestgen -app redis [-o redis.json]
+//	manifestgen -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lupine/internal/apps"
+	"lupine/internal/core"
+	"lupine/internal/guest"
+	"lupine/internal/kerneldb"
+)
+
+func main() {
+	appName := flag.String("app", "", "application to derive a manifest for")
+	all := flag.Bool("all", false, "derive manifests for all 20 registry apps (Table 3)")
+	trace := flag.Bool("trace", false, "use dynamic syscall tracing (2 boots) instead of the error-message search")
+	out := flag.String("o", "", "write the manifest JSON to this file")
+	flag.Parse()
+
+	db, err := kerneldb.Load()
+	if err != nil {
+		fatal(err)
+	}
+	if *all {
+		fmt.Printf("%-14s %-8s %s\n", "app", "#options", "options (discovery order)")
+		for _, name := range apps.Names() {
+			res, err := derive(db, name, *trace)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-14s %-8d %v\n", name, len(res.Manifest.Options), res.Added)
+		}
+		return
+	}
+	if *appName == "" {
+		fmt.Fprintln(os.Stderr, "manifestgen: -app or -all required")
+		os.Exit(2)
+	}
+	res, err := derive(db, *appName, *trace)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("derived manifest for %s in %d boots\n", *appName, res.Boots)
+	fmt.Printf("options (discovery order): %v\n", res.Added)
+	data, err := res.Manifest.Marshal()
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	} else {
+		fmt.Println(string(data))
+	}
+}
+
+func derive(db *kerneldb.DB, name string, trace bool) (*core.SearchResult, error) {
+	a, err := apps.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	fn := core.DeriveManifest
+	if trace {
+		fn = core.DeriveManifestByTrace
+	}
+	return fn(db, core.SearchInput{
+		Spec: core.Spec{
+			Manifest: a.Manifest(),
+			Image:    a.ContainerImage(),
+			Program:  func(p *guest.Proc, probeOnly bool) int { return a.Main(p, probeOnly) },
+		},
+		SuccessText: a.SuccessText,
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "manifestgen:", err)
+	os.Exit(1)
+}

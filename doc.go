@@ -1,0 +1,15 @@
+// Package lupine is a from-scratch Go reproduction of "A Linux in
+// Unikernel Clothing" (Kuo, Williams, Koller, Mohan — EuroSys 2020).
+//
+// The real Lupine artifact is a specialized Linux kernel build plus the
+// Kernel Mode Linux patch running under Firecracker on KVM hardware. This
+// repository substitutes a deterministic simulation substrate for the
+// hardware stack and rebuilds everything above it: a Kconfig language
+// engine and synthetic Linux 4.0 option tree, a kernel build and boot
+// model, monitor models, a discrete-event guest kernel (processes, VFS,
+// sockets, futexes, epoll), the KML patch pipeline, a real ext2 rootfs
+// writer/reader, the top-20 Docker Hub application models, the unikernel
+// comparators, and a benchmark harness that regenerates every table and
+// figure of the paper's evaluation. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package lupine

@@ -1,0 +1,3 @@
+module lupine
+
+go 1.22

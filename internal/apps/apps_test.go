@@ -1,0 +1,135 @@
+package apps
+
+import (
+	"testing"
+
+	"lupine/internal/kerneldb"
+)
+
+// Table 3's per-app option counts.
+var table3Counts = map[string]int{
+	"nginx": 13, "postgres": 10, "httpd": 13, "node": 5, "redis": 10,
+	"mongo": 11, "mysql": 9, "traefik": 8, "memcached": 10,
+	"hello-world": 0, "mariadb": 13, "golang": 0, "python": 0,
+	"openjdk": 0, "rabbitmq": 12, "php": 0, "wordpress": 9,
+	"haproxy": 8, "influxdb": 11, "elasticsearch": 12,
+}
+
+func TestRegistryMatchesTable3(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 20 {
+		t.Fatalf("registry has %d apps, want 20", len(reg))
+	}
+	db := kerneldb.MustLoad()
+	var prevDL = 100.0
+	for _, a := range reg {
+		want, ok := table3Counts[a.Name]
+		if !ok {
+			t.Errorf("unexpected app %s", a.Name)
+			continue
+		}
+		if got := len(a.Options); got != want {
+			t.Errorf("%s needs %d options, Table 3 says %d (%v)", a.Name, got, want, a.Options)
+		}
+		// Registry is ordered by downloads (Table 3).
+		if a.DownloadsBillions > prevDL {
+			t.Errorf("%s out of download order", a.Name)
+		}
+		prevDL = a.DownloadsBillions
+		// Every required option exists in the tree, is part of the
+		// microVM profile, and is NOT already in lupine-base.
+		for _, o := range a.Options {
+			cls := db.Class(o)
+			if cls == kerneldb.ClassBase {
+				t.Errorf("%s requires %s which is already in lupine-base", a.Name, o)
+			}
+			if !cls.InMicroVM() {
+				t.Errorf("%s requires %s which is outside the microVM profile", a.Name, o)
+			}
+			if optionChecks[o] == nil {
+				t.Errorf("%s requires %s with no startup check", a.Name, o)
+			}
+		}
+	}
+	// The paper: the top 20 apps account for 83% of all downloads; our
+	// registry records the same download column.
+	if reg[0].Name != "nginx" || reg[0].DownloadsBillions != 1.7 {
+		t.Errorf("top app = %s/%.1f, want nginx/1.7", reg[0].Name, reg[0].DownloadsBillions)
+	}
+}
+
+func TestUnionOptionsGrowth(t *testing.T) {
+	// Figure 5: the union grows from 13 (nginx alone) to 19 and plateaus.
+	wantGrowth := []int{13, 14, 15, 15, 15, 16, 16, 17, 17, 17, 18, 18, 18, 18, 19, 19, 19, 19, 19, 19}
+	for i, want := range wantGrowth {
+		if got := len(UnionOptions(i + 1)); got != want {
+			t.Errorf("union after %d apps = %d, want %d", i+1, got, want)
+		}
+	}
+	// The full union IS lupine-general's option set.
+	union := UnionOptions(0)
+	general := kerneldb.GeneralOptions()
+	if len(union) != len(general) {
+		t.Fatalf("union = %v (%d), general = %v (%d)", union, len(union), general, len(general))
+	}
+	for i := range union {
+		if union[i] != general[i] {
+			t.Fatalf("union[%d] = %s, general = %s", i, union[i], general[i])
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	a, err := Lookup("redis")
+	if err != nil || a.Port != 6379 {
+		t.Fatalf("Lookup(redis) = %+v, %v", a, err)
+	}
+	if _, err := Lookup("notanapp"); err == nil {
+		t.Error("Lookup(notanapp) succeeded")
+	}
+	if got := len(Names()); got != 20 {
+		t.Errorf("Names() = %d entries", got)
+	}
+}
+
+func TestManifestAndImage(t *testing.T) {
+	a, _ := Lookup("nginx")
+	m := a.Manifest()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NetworkPort != 80 || !m.HasOption("AIO") || !m.HasOption("EVENTFD") {
+		t.Errorf("nginx manifest = %+v", m)
+	}
+	img := a.ContainerImage()
+	if img.Entrypoint[0] != "/bin/nginx" {
+		t.Errorf("nginx image entrypoint = %v", img.Entrypoint)
+	}
+	// §3.1.1: redis requires EPOLL and FUTEX; nginx additionally AIO and
+	// EVENTFD.
+	r, _ := Lookup("redis")
+	rm := r.Manifest()
+	if !rm.HasOption("EPOLL") || !rm.HasOption("FUTEX") {
+		t.Error("redis manifest lacks EPOLL/FUTEX")
+	}
+	if rm.HasOption("AIO") || rm.HasOption("EVENTFD") {
+		t.Error("redis manifest has nginx-only options")
+	}
+}
+
+func TestPostgresIsMultiProcess(t *testing.T) {
+	// §4.1: postgres needs CONFIG_SYSVIPC, classified as multi-process —
+	// an option a strict unikernel would never allow, which Lupine runs
+	// anyway.
+	a, _ := Lookup("postgres")
+	db := kerneldb.MustLoad()
+	found := false
+	for _, o := range a.Options {
+		if db.Class(o) == kerneldb.ClassMultiProc {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("postgres requires no multi-process options; expected SYSVIPC")
+	}
+}

@@ -1,0 +1,94 @@
+package apps
+
+import (
+	"testing"
+
+	"lupine/internal/guest"
+	"lupine/internal/kbuild"
+	"lupine/internal/kerneldb"
+)
+
+// Every option in the canonical check order has a check, and every check
+// is causal: it succeeds on lupine-base + that option and fails on bare
+// lupine-base. This is what guarantees the §4.1 search discovers exactly
+// one option per boot.
+func TestEveryOptionCheckIsCausal(t *testing.T) {
+	db := kerneldb.MustLoad()
+	if len(checkOrder) != len(kerneldb.GeneralOptions()) {
+		t.Fatalf("check order covers %d options, general set has %d",
+			len(checkOrder), len(kerneldb.GeneralOptions()))
+	}
+	buildFor := func(opts ...string) *kbuild.Image {
+		t.Helper()
+		cfg, err := db.ResolveProfile(db.LupineBaseRequest().Enable(opts...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := kbuild.Build(db, "check", cfg, kbuild.O2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return img
+	}
+	runCheck := func(img *kbuild.Image, opt string) guest.Errno {
+		t.Helper()
+		k, err := guest.NewKernel(guest.Params{Image: img, RootFS: serverFS()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var result guest.Errno
+		k.Spawn("checker", func(p *guest.Proc) int {
+			result = optionChecks[opt](p)
+			return 0
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return result
+	}
+	bare := buildFor()
+	for _, opt := range checkOrder {
+		check := optionChecks[opt]
+		if check == nil {
+			t.Errorf("no check for %s", opt)
+			continue
+		}
+		if e := runCheck(bare, opt); e == guest.OK {
+			t.Errorf("%s check passed on bare lupine-base", opt)
+		}
+		if e := runCheck(buildFor(opt), opt); e != guest.OK {
+			t.Errorf("%s check failed with its option enabled: %v", opt, e)
+		}
+	}
+}
+
+// Every check failure leaves a console message the search can map back
+// to its option — no silent failures.
+func TestEveryCheckFailureIsMappable(t *testing.T) {
+	db := kerneldb.MustLoad()
+	cfg, err := db.ResolveProfile(db.LupineBaseRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := kbuild.Build(db, "bare", cfg, kbuild.O2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range checkOrder {
+		opt := opt
+		k, err := guest.NewKernel(guest.Params{Image: img, RootFS: serverFS()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.Spawn("checker", func(p *guest.Proc) int {
+			optionChecks[opt](p)
+			return 0
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if k.Console() == "" {
+			t.Errorf("%s check failed without any console message", opt)
+		}
+	}
+}

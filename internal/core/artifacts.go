@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteArtifacts materializes the unikernel's build products on disk the
+// way lupine-build ships them: the resolved kernel configuration, the
+// generated init script, the ext2 root filesystem image and the
+// application manifest. Returns the written paths in a fixed order.
+func (u *Unikernel) WriteArtifacts(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	manifestJSON, err := u.Spec.Manifest.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	files := []struct {
+		name string
+		data []byte
+		mode os.FileMode
+	}{
+		{"kernel.config", []byte(u.Kernel.Config.String()), 0o644},
+		{"init.sh", []byte(u.InitScript), 0o755},
+		{"rootfs.ext2", u.RootFS, 0o644},
+		{"manifest.json", manifestJSON, 0o644},
+	}
+	var paths []string
+	for _, f := range files {
+		path := filepath.Join(dir, f.name)
+		if err := os.WriteFile(path, f.data, f.mode); err != nil {
+			return nil, fmt.Errorf("core: writing %s: %w", f.name, err)
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}

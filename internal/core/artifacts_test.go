@@ -1,0 +1,90 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lupine/internal/ext2"
+	"lupine/internal/kconfig"
+	"lupine/internal/kerneldb"
+	"lupine/internal/manifest"
+)
+
+func TestWriteArtifacts(t *testing.T) {
+	db := kerneldb.MustLoad()
+	u, err := Build(db, specFor(t, "redis"), BuildOpts{KML: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	paths, err := u.WriteArtifacts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("wrote %d files, want 4", len(paths))
+	}
+
+	// The .config round-trips through the parser and resolves to the
+	// same configuration.
+	raw, err := os.ReadFile(filepath.Join(dir, "kernel.config"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := kconfig.ParseDotConfig(strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Equal(u.Kernel.Config) {
+		t.Error("kernel.config does not round-trip")
+	}
+
+	// The rootfs image on disk is valid ext2 with the init script inside,
+	// matching init.sh byte for byte.
+	img, err := os.ReadFile(filepath.Join(dir, "rootfs.ext2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := ext2.ReadImage(img)
+	if err != nil {
+		t.Fatalf("rootfs.ext2 invalid: %v", err)
+	}
+	script, err := os.ReadFile(filepath.Join(dir, "init.sh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(tree.Lookup("/init").Data) != string(script) {
+		t.Error("init.sh does not match the script inside the image")
+	}
+
+	// The manifest parses back with the same options.
+	mraw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := manifest.Parse(mraw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(m.Options, ",") != strings.Join(u.Spec.Manifest.Options, ",") {
+		t.Errorf("manifest options = %v", m.Options)
+	}
+}
+
+func TestWriteArtifactsBadDir(t *testing.T) {
+	db := kerneldb.MustLoad()
+	u, err := Build(db, specFor(t, "hello-world"), BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A file where the directory should be.
+	f := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.WriteArtifacts(f); err == nil {
+		t.Error("writing into a file path succeeded")
+	}
+}

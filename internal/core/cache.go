@@ -1,0 +1,72 @@
+package core
+
+import (
+	"strings"
+	"sync"
+
+	"lupine/internal/kbuild"
+	"lupine/internal/kerneldb"
+)
+
+// KernelCache builds Lupine unikernels while sharing kernel images
+// between applications whose specialized configurations coincide — the
+// orchestration idea of MultiK (cited in §7): a host serving many
+// unikernels needs far fewer distinct kernels than applications, because
+// option sets repeat (every language runtime in the top-20 runs on plain
+// lupine-base, for instance).
+type KernelCache struct {
+	db *kerneldb.DB
+
+	mu     sync.Mutex
+	images map[string]*kbuild.Image
+	builds int
+	hits   int
+}
+
+// NewKernelCache returns an empty cache over the option database.
+func NewKernelCache(db *kerneldb.DB) *KernelCache {
+	return &KernelCache{db: db, images: make(map[string]*kbuild.Image)}
+}
+
+// Build is core.Build with kernel-image sharing: two specs requesting the
+// same option set and variant receive the same *kbuild.Image; the root
+// filesystem remains per-application.
+func (c *KernelCache) Build(spec Spec, opts BuildOpts) (*Unikernel, error) {
+	u, err := Build(c.db, spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey(u.Kernel)
+	c.mu.Lock()
+	if img, ok := c.images[key]; ok {
+		c.hits++
+		u.Kernel = img
+	} else {
+		c.builds++
+		c.images[key] = u.Kernel
+	}
+	c.mu.Unlock()
+	return u, nil
+}
+
+// cacheKey identifies a kernel by its full resolved configuration and
+// optimization level — the things that determine the binary.
+func cacheKey(img *kbuild.Image) string {
+	var sb strings.Builder
+	sb.WriteString(img.Opt.String())
+	sb.WriteByte('|')
+	for _, n := range img.Config.Names() {
+		sb.WriteString(n)
+		sb.WriteByte('=')
+		sb.WriteString(img.Config.Get(n).String())
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// Stats reports distinct kernels built and cache hits served.
+func (c *KernelCache) Stats() (builds, hits int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.builds, c.hits
+}

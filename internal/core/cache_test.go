@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"lupine/internal/apps"
+	"lupine/internal/kerneldb"
+)
+
+// MultiK-style sharing: the top-20 applications need far fewer distinct
+// kernels than applications, because option sets repeat.
+func TestKernelCacheSharesImages(t *testing.T) {
+	db := kerneldb.MustLoad()
+	cache := NewKernelCache(db)
+
+	// Count the truly distinct option sets first.
+	distinct := make(map[string]bool)
+	for _, name := range apps.Names() {
+		a, _ := apps.Lookup(name)
+		key := ""
+		for _, o := range a.Manifest().Options {
+			key += o + ","
+		}
+		distinct[key] = true
+	}
+
+	kernels := make(map[interface{}]bool)
+	for _, name := range apps.Names() {
+		u, err := cache.Build(specFor(t, name), BuildOpts{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		kernels[u.Kernel] = true
+	}
+	builds, hits := cache.Stats()
+	if builds != len(distinct) {
+		t.Errorf("built %d kernels, want %d distinct option sets", builds, len(distinct))
+	}
+	if builds+hits != 20 {
+		t.Errorf("builds %d + hits %d != 20", builds, hits)
+	}
+	if hits == 0 {
+		t.Error("no sharing happened; the 5 zero-option apps must share lupine-base")
+	}
+	if len(kernels) != builds {
+		t.Errorf("%d unique image pointers vs %d builds", len(kernels), builds)
+	}
+
+	// A shared kernel still runs both its tenants.
+	for _, name := range []string{"hello-world", "golang"} {
+		a, _ := apps.Lookup(name)
+		u, err := cache.Build(specFor(t, name), BuildOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, console, err := u.RunAndCheck(BootOpts{}, a.SuccessText)
+		if err != nil || !ok {
+			t.Errorf("%s on shared kernel failed: %v %q", name, err, console)
+		}
+	}
+}
+
+func TestKernelCacheVariantsAreDistinct(t *testing.T) {
+	db := kerneldb.MustLoad()
+	cache := NewKernelCache(db)
+	spec := specFor(t, "redis")
+	a, err := cache.Build(spec, BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cache.Build(spec, BuildOpts{KML: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cache.Build(spec, BuildOpts{Tiny: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kernel == b.Kernel || a.Kernel == c.Kernel || b.Kernel == c.Kernel {
+		t.Error("distinct variants shared a kernel image")
+	}
+	builds, hits := cache.Stats()
+	if builds != 3 || hits != 0 {
+		t.Errorf("stats = %d/%d, want 3 builds, 0 hits", builds, hits)
+	}
+}

@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"fmt"
+
+	"lupine/internal/apps"
+	"lupine/internal/core"
+	"lupine/internal/guest"
+	"lupine/internal/kerneldb"
+)
+
+// Example builds and boots a hello-world Lupine unikernel — the public
+// API's shortest path from container image to running guest.
+func Example() {
+	db := kerneldb.MustLoad()
+	app, err := apps.Lookup("hello-world")
+	if err != nil {
+		panic(err)
+	}
+	u, err := core.Build(db, core.Spec{
+		Manifest: app.Manifest(),
+		Image:    app.ContainerImage(),
+		Program:  func(p *guest.Proc, probeOnly bool) int { return app.Main(p, probeOnly) },
+	}, core.BuildOpts{KML: true})
+	if err != nil {
+		panic(err)
+	}
+	vm, err := u.Boot(core.BootOpts{})
+	if err != nil {
+		panic(err)
+	}
+	if err := vm.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Println("options:", u.Kernel.Config.Len())
+	fmt.Println("kml:", u.Kernel.KML())
+	fmt.Println("ok:", vm.Succeeded("Hello from Docker!"))
+	// Output:
+	// options: 283
+	// kml: true
+	// ok: true
+}
+
+// ExampleDeriveManifest reproduces the paper's §4.1 configuration search
+// for redis: one kernel option discovered per boot-and-observe cycle.
+func ExampleDeriveManifest() {
+	db := kerneldb.MustLoad()
+	app, err := apps.Lookup("redis")
+	if err != nil {
+		panic(err)
+	}
+	res, err := core.DeriveManifest(db, core.SearchInput{
+		Spec: core.Spec{
+			Manifest: app.Manifest(),
+			Image:    app.ContainerImage(),
+			Program:  func(p *guest.Proc, probeOnly bool) int { return app.Main(p, probeOnly) },
+		},
+		SuccessText: app.SuccessText,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("boots:", res.Boots)
+	fmt.Println("options:", res.Manifest.Options)
+	// Output:
+	// boots: 11
+	// options: [ADVISE_SYSCALLS EPOLL FILE_LOCKING FUTEX PROC_FS SIGNALFD SYSCTL TIMERFD TMPFS UNIX]
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+
+	"lupine/internal/guest"
+)
+
+// MemoryFootprint determines the minimum guest memory (in bytes, MiB
+// granularity) at which the unikernel boots and reaches its success
+// criterion — the §4.4 methodology: "repeatedly testing the unikernel
+// with a decreasing memory parameter passed to the monitor".
+func (u *Unikernel) MemoryFootprint(opts BootOpts, successText string) (int64, error) {
+	const (
+		lo = 1
+		hi = 1024 // MiB
+	)
+	works := func(mib int64) bool {
+		o := opts
+		o.Memory = mib * guest.MiB
+		ok, _, err := u.RunAndCheck(o, successText)
+		return err == nil && ok
+	}
+	if !works(hi) {
+		return 0, fmt.Errorf("core: %s does not reach %q even with %d MiB",
+			u.Kernel.Name, successText, hi)
+	}
+	low, high := int64(lo), int64(hi)
+	for low < high {
+		mid := (low + high) / 2
+		if works(mid) {
+			high = mid
+		} else {
+			low = mid + 1
+		}
+	}
+	return low * guest.MiB, nil
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lupine/internal/guest"
+	"lupine/internal/kerneldb"
+)
+
+func TestDeriveManifestNeedsSuccessText(t *testing.T) {
+	db := kerneldb.MustLoad()
+	if _, err := DeriveManifest(db, SearchInput{Spec: specFor(t, "redis")}); err == nil {
+		t.Error("search without success criterion accepted")
+	}
+	if _, err := DeriveManifestByTrace(db, SearchInput{Spec: specFor(t, "redis")}); err == nil {
+		t.Error("trace derivation without success criterion accepted")
+	}
+}
+
+func TestDeriveManifestUnreachableSuccess(t *testing.T) {
+	// An app that never prints the criterion and produces no mappable
+	// error must fail loudly, not loop.
+	db := kerneldb.MustLoad()
+	sp := specFor(t, "hello-world")
+	sp.Program = func(p *guest.Proc, probeOnly bool) int {
+		p.Println("something unrelated")
+		return 1
+	}
+	_, err := DeriveManifest(db, SearchInput{Spec: sp, SuccessText: "never printed"})
+	if err == nil || !strings.Contains(err.Error(), "no known error") {
+		t.Errorf("err = %v, want stuck-search diagnosis", err)
+	}
+}
+
+func TestMatchErrorPicksNewestFailure(t *testing.T) {
+	console := "the futex facility returned an unexpected error code\n" +
+		"epoll_create1 failed: function not implemented\n"
+	if got := matchError(console); got != "EPOLL" {
+		t.Errorf("matchError = %q, want EPOLL (the most recent failure)", got)
+	}
+	if got := matchError("nothing relevant"); got != "" {
+		t.Errorf("matchError on clean console = %q", got)
+	}
+}
+
+func TestErrorHintsCoverGeneralOptions(t *testing.T) {
+	covered := make(map[string]bool)
+	for _, h := range errorHints {
+		covered[h.Option] = true
+	}
+	for _, opt := range kerneldb.GeneralOptions() {
+		if !covered[opt] {
+			t.Errorf("no error hint maps to %s; the search could not discover it", opt)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"lupine/internal/kerneldb"
+	"lupine/internal/manifest"
+)
+
+// Trace-based manifest generation: the dynamic-analysis alternative to
+// the error-message search. The paper leaves manifest generation to
+// "static or dynamic analysis" future work (§3.1); this implements the
+// dynamic variant: run the application once on a permissive (microVM)
+// kernel with syscall tracing enabled, then map every traced facility to
+// its gating configuration option.
+
+// mountOption maps a mounted filesystem type to its option.
+var mountOption = map[string]string{
+	"proc":  "PROC_FS",
+	"tmpfs": "TMPFS",
+	"ext2":  "EXT2_FS",
+}
+
+// OptionsFromTrace converts recorded trace events into the set of
+// non-base kernel options the workload depends on.
+func OptionsFromTrace(db *kerneldb.DB, events []string) []string {
+	seen := make(map[string]bool)
+	for _, ev := range events {
+		var opt string
+		switch {
+		case len(ev) > 7 && ev[:7] == "socket:":
+			opt = ev[7:]
+		case len(ev) > 6 && ev[:6] == "mount:":
+			opt = mountOption[ev[6:]]
+		default:
+			opt = db.OptionForSyscall(ev)
+		}
+		if opt == "" {
+			continue
+		}
+		// Options already in lupine-base (NET, INET, ...) are not
+		// application-specific.
+		if db.Class(opt) == kerneldb.ClassBase {
+			continue
+		}
+		seen[opt] = true
+	}
+	out := make([]string, 0, len(seen))
+	for o := range seen {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeriveManifestByTrace derives an application manifest in exactly two
+// boots: one traced run on the permissive microVM kernel to observe the
+// workload's kernel demands, and one verification run on the resulting
+// specialized kernel.
+func DeriveManifestByTrace(db *kerneldb.DB, in SearchInput) (*SearchResult, error) {
+	if in.SuccessText == "" {
+		return nil, fmt.Errorf("core: trace derivation needs a success criterion")
+	}
+	src := in.Spec.Manifest
+
+	// Boot 1: permissive kernel, tracing on.
+	bare := manifest.New(src.App, src.Entrypoint)
+	for k, v := range src.Env {
+		bare.Env[k] = v
+	}
+	bare.NetworkPort = src.NetworkPort
+	spec := in.Spec
+	spec.Manifest = bare
+	micro, err := BuildMicroVM(db, spec)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := micro.Boot(BootOpts{ProbeOnly: true, Trace: true})
+	if err != nil {
+		return nil, err
+	}
+	if err := vm.Run(); err != nil {
+		return nil, fmt.Errorf("core: traced run: %w", err)
+	}
+	if !vm.Succeeded(in.SuccessText) {
+		return nil, fmt.Errorf("core: %s did not reach %q on the permissive kernel:\n%s",
+			src.App, in.SuccessText, tail(vm.Console(), 400))
+	}
+	opts := OptionsFromTrace(db, vm.Guest.Trace())
+
+	// Boot 2: verify the specialized kernel runs the app.
+	m := manifest.New(src.App, src.Entrypoint, opts...)
+	for k, v := range src.Env {
+		m.Env[k] = v
+	}
+	m.NetworkPort = src.NetworkPort
+	spec.Manifest = m
+	u, err := Build(db, spec, BuildOpts{Name: "trace-" + m.App})
+	if err != nil {
+		return nil, err
+	}
+	ok, console, err := u.RunAndCheck(BootOpts{}, in.SuccessText)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: trace-derived kernel for %s fails verification:\n%s",
+			m.App, tail(console, 400))
+	}
+	return &SearchResult{Manifest: m, Boots: 2, Added: opts}, nil
+}

@@ -1,0 +1,122 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment runs the real pipeline — kconfig resolution,
+// kernel build, boot simulation, guest workloads, comparator models — and
+// renders the same rows/series the paper reports. Absolute values are
+// simulator-calibrated; the relationships (who wins, by what factor) are
+// the reproduction target (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"lupine/internal/apps"
+	"lupine/internal/core"
+	"lupine/internal/guest"
+	"lupine/internal/kbuild"
+	"lupine/internal/kconfig"
+	"lupine/internal/kerneldb"
+)
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (fmt.Stringer, error)
+}
+
+var registry []Experiment
+
+func register(id, title string, run func() (fmt.Stringer, error)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every experiment, sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (try: %v)", id, ids())
+}
+
+func ids() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// --- shared builders ---
+
+func db() *kerneldb.DB { return kerneldb.MustLoad() }
+
+// buildImage resolves and builds a kernel for a named profile.
+func buildImage(name string, req *kconfig.Request, opt kbuild.OptLevel) (*kbuild.Image, error) {
+	cfg, err := db().ResolveProfile(req)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return kbuild.Build(db(), name, cfg, opt)
+}
+
+// Profile constructors for the systems of Table 2 and §4's variants.
+
+func microVMImage() (*kbuild.Image, error) {
+	return buildImage("microvm", db().MicroVMRequest(), kbuild.O2)
+}
+
+func lupineBaseImage() (*kbuild.Image, error) {
+	return buildImage("lupine-base", db().LupineBaseRequest(), kbuild.O2)
+}
+
+// lupineImage builds an application-specific Lupine kernel; kml selects
+// the KML variant (-nokml keeps PARAVIRT).
+func lupineImage(name string, options []string, kml bool, opt kbuild.OptLevel) (*kbuild.Image, error) {
+	req := db().LupineBaseRequest().Enable(options...)
+	if kml {
+		req.Set("PARAVIRT", kconfig.TriValue(kconfig.No)).Enable("KERNEL_MODE_LINUX")
+	}
+	if opt == kbuild.Os {
+		for _, o := range kerneldb.TinyDisables() {
+			req.Set(o, kconfig.TriValue(kconfig.No))
+		}
+	}
+	return buildImage(name, req, opt)
+}
+
+func lupineGeneralImage(kml bool) (*kbuild.Image, error) {
+	name := "lupine-general"
+	if !kml {
+		name = "lupine-nokml-general"
+	}
+	return lupineImage(name, kerneldb.GeneralOptions(), kml, kbuild.O2)
+}
+
+// appSpec adapts a registry application to the core builder.
+func appSpec(name string) (core.Spec, *apps.App, error) {
+	a, err := apps.Lookup(name)
+	if err != nil {
+		return core.Spec{}, nil, err
+	}
+	return core.Spec{
+		Manifest: a.Manifest(),
+		Image:    a.ContainerImage(),
+		Program:  func(p *guest.Proc, probeOnly bool) int { return a.Main(p, probeOnly) },
+	}, a, nil
+}
+
+// appsRegistry returns the app names in Table 3 order.
+func appsRegistry() []string { return apps.Names() }
+
+// unionOptions is Figure 5's union over the first n apps.
+func unionOptions(n int) []string { return apps.UnionOptions(n) }

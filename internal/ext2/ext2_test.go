@@ -1,0 +1,426 @@
+package ext2
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTree() *File {
+	return NewDir("",
+		NewDir("bin",
+			NewFile("redis-server", 0o755, bytes.Repeat([]byte("ELF"), 500)),
+			NewSymlink("sh", "/bin/busybox"),
+			NewFile("busybox", 0o755, []byte("#!busybox")),
+		),
+		NewDir("lib",
+			NewFile("libc.so", 0o644, bytes.Repeat([]byte{0xCA, 0xFE}, 40000)), // 80 KB: needs indirect blocks
+			NewFile("libm.so", 0o644, []byte("math")),
+		),
+		NewDir("etc",
+			NewFile("init", 0o755, []byte("#!/bin/sh\nexec /bin/redis-server\n")),
+		),
+		NewDir("tmp"),
+		NewFile("manifest.json", 0o644, []byte(`{"app":"redis"}`)),
+	)
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	root := sampleTree()
+	img, err := WriteImage(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img)%BlockSize != 0 {
+		t.Fatalf("image size %d not block aligned", len(img))
+	}
+	back, err := ReadImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTreesEqual(t, "/", root, back)
+}
+
+func assertTreesEqual(t *testing.T, path string, want, got *File) {
+	t.Helper()
+	if want.Dir != got.Dir || want.Symlink != got.Symlink {
+		t.Errorf("%s: kind mismatch: want dir=%v sym=%v, got dir=%v sym=%v",
+			path, want.Dir, want.Symlink, got.Dir, got.Symlink)
+		return
+	}
+	if !want.Dir && !bytes.Equal(want.Data, got.Data) {
+		t.Errorf("%s: data mismatch: %d vs %d bytes", path, len(want.Data), len(got.Data))
+	}
+	if want.Mode&0o7777 != got.Mode&0o7777 {
+		t.Errorf("%s: mode %o vs %o", path, want.Mode, got.Mode)
+	}
+	if want.Dir {
+		if len(want.Children) != len(got.Children) {
+			t.Errorf("%s: %d children vs %d", path, len(want.Children), len(got.Children))
+			return
+		}
+		for _, wc := range want.Children {
+			gc := got.Child(wc.Name)
+			if gc == nil {
+				t.Errorf("%s: missing child %q", path, wc.Name)
+				continue
+			}
+			assertTreesEqual(t, path+wc.Name+"/", wc, gc)
+		}
+	}
+}
+
+func TestSuperblockFields(t *testing.T) {
+	img, err := WriteImage(sampleTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := img[BlockSize : 2*BlockSize]
+	if magic := le.Uint16(sb[56:]); magic != 0xEF53 {
+		t.Errorf("magic = %#x", magic)
+	}
+	if first := le.Uint32(sb[20:]); first != 1 {
+		t.Errorf("first data block = %d, want 1", first)
+	}
+	if logBS := le.Uint32(sb[24:]); logBS != 0 {
+		t.Errorf("log block size = %d, want 0 (1 KiB)", logBS)
+	}
+	blocks := le.Uint32(sb[4:])
+	if int(blocks)*BlockSize != len(img) {
+		t.Errorf("superblock blocks %d vs image %d", blocks, len(img)/BlockSize)
+	}
+}
+
+func TestLargeFileIndirection(t *testing.T) {
+	// > 12 KiB forces single indirection; > 12 KiB + 256 KiB forces double.
+	sizes := []int{
+		0,
+		1,
+		BlockSize,
+		directBlocks * BlockSize,   // direct only
+		directBlocks*BlockSize + 1, // single indirect begins
+		(directBlocks + pointersPerBlock) * BlockSize,   // single indirect full
+		(directBlocks+pointersPerBlock)*BlockSize + 777, // double indirect begins
+		2 << 20, // 2 MiB, deep into double indirect (musl libc scale)
+	}
+	for _, size := range sizes {
+		data := make([]byte, size)
+		rnd := rand.New(rand.NewSource(int64(size)))
+		rnd.Read(data)
+		root := NewDir("", NewFile("blob", 0o644, data))
+		img, err := WriteImage(root)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		back, err := ReadImage(img)
+		if err != nil {
+			t.Fatalf("size %d: read: %v", size, err)
+		}
+		got := back.Child("blob")
+		if got == nil || !bytes.Equal(got.Data, data) {
+			t.Fatalf("size %d: data corrupted", size)
+		}
+	}
+}
+
+func TestManyEntriesDirectory(t *testing.T) {
+	// Enough entries to span multiple directory blocks.
+	var children []*File
+	for i := 0; i < 200; i++ {
+		children = append(children, NewFile(fmt.Sprintf("file-%03d-with-a-longish-name", i), 0o644, []byte{byte(i)}))
+	}
+	root := NewDir("", children...)
+	img, err := WriteImage(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Children) != 200 {
+		t.Fatalf("%d children survived, want 200", len(back.Children))
+	}
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("file-%03d-with-a-longish-name", i)
+		c := back.Child(name)
+		if c == nil || len(c.Data) != 1 || c.Data[0] != byte(i) {
+			t.Fatalf("entry %q corrupted", name)
+		}
+	}
+}
+
+func TestSymlinks(t *testing.T) {
+	longTarget := "/very/long/path/" + string(bytes.Repeat([]byte("x"), 80))
+	root := NewDir("",
+		NewSymlink("fast", "/bin/sh"),
+		NewSymlink("slow", longTarget),
+	)
+	img, err := WriteImage(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(back.Child("fast").Data); got != "/bin/sh" {
+		t.Errorf("fast symlink = %q", got)
+	}
+	if got := string(back.Child("slow").Data); got != longTarget {
+		t.Errorf("slow symlink corrupted (%d bytes)", len(got))
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	if _, err := WriteImage(nil); err == nil {
+		t.Error("nil root accepted")
+	}
+	if _, err := WriteImage(NewFile("f", 0o644, nil)); err == nil {
+		t.Error("non-directory root accepted")
+	}
+	dup := NewDir("", NewFile("a", 0o644, nil), NewFile("a", 0o644, nil))
+	if _, err := WriteImage(dup); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	bad := NewDir("", &File{Name: "x/y", Mode: 0o644})
+	if _, err := WriteImage(bad); err == nil {
+		t.Error("slash in name accepted")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := ReadImage(nil); err == nil {
+		t.Error("empty image accepted")
+	}
+	img, err := WriteImage(sampleTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), img...)
+	le.PutUint16(bad[BlockSize+56:], 0xDEAD)
+	if _, err := ReadImage(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	truncated := img[:2*BlockSize]
+	if _, err := ReadImage(truncated); err == nil {
+		t.Error("truncated image accepted")
+	}
+}
+
+func TestLookupAndWalk(t *testing.T) {
+	root := sampleTree()
+	if f := root.Lookup("/bin/redis-server"); f == nil || f.Dir {
+		t.Error("Lookup /bin/redis-server failed")
+	}
+	if f := root.Lookup("lib/libm.so"); f == nil || string(f.Data) != "math" {
+		t.Error("Lookup without leading slash failed")
+	}
+	if f := root.Lookup("/"); f != root {
+		t.Error("Lookup / is not root")
+	}
+	if f := root.Lookup("/no/such"); f != nil {
+		t.Error("Lookup of missing path returned node")
+	}
+	if f := root.Lookup("/manifest.json/x"); f != nil {
+		t.Error("Lookup through file returned node")
+	}
+	var paths []string
+	root.Walk(func(p string, _ *File) { paths = append(paths, p) })
+	if paths[0] != "/" {
+		t.Errorf("walk starts at %q", paths[0])
+	}
+	found := false
+	for _, p := range paths {
+		if p == "/lib/libc.so" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("walk missed /lib/libc.so: %v", paths)
+	}
+}
+
+// Property: write/read round-trips arbitrary small file trees.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(names []string, blobs [][]byte, seed int64) bool {
+		root := NewDir("")
+		sub := NewDir("sub")
+		root.Children = append(root.Children, sub)
+		used := map[string]bool{"sub": true}
+		for i, raw := range blobs {
+			if i >= len(names) || i > 20 {
+				break
+			}
+			name := sanitizeName(names[i], i)
+			if used[name] {
+				continue
+			}
+			used[name] = true
+			if len(raw) > 64*1024 {
+				raw = raw[:64*1024]
+			}
+			node := NewFile(name, 0o644, raw)
+			if i%3 == 0 {
+				sub.Children = append(sub.Children, node)
+			} else {
+				root.Children = append(root.Children, node)
+			}
+		}
+		img, err := WriteImage(root)
+		if err != nil {
+			return false
+		}
+		back, err := ReadImage(img)
+		if err != nil {
+			return false
+		}
+		ok := true
+		root.Walk(func(p string, n *File) {
+			if n.Dir {
+				return
+			}
+			g := back.Lookup(p)
+			if g == nil || !bytes.Equal(g.Data, n.Data) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitizeName(s string, i int) string {
+	out := []byte(fmt.Sprintf("f%d-", i))
+	for _, c := range []byte(s) {
+		if c > 0x20 && c != '/' && c < 0x7f && len(out) < 40 {
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+func TestTotalBytes(t *testing.T) {
+	root := NewDir("",
+		NewFile("a", 0o644, make([]byte, 100)),
+		NewDir("d", NewFile("b", 0o644, make([]byte, 50))),
+		NewSymlink("s", "abc"),
+	)
+	if got := root.TotalBytes(); got != 153 {
+		t.Errorf("TotalBytes = %d, want 153", got)
+	}
+}
+
+func TestMultiGroupImage(t *testing.T) {
+	// ~20 MB of payload spans three block groups (8 MiB each).
+	var children []*File
+	total := 0
+	for i := 0; i < 10; i++ {
+		data := make([]byte, 2<<20)
+		for j := range data {
+			data[j] = byte(i + j*7)
+		}
+		children = append(children, NewFile(fmt.Sprintf("blob-%02d", i), 0o644, data))
+		total += len(data)
+	}
+	root := NewDir("", NewDir("payload", children...))
+	img, err := WriteImage(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) <= 2*blocksPerGroup*BlockSize {
+		t.Fatalf("image only %d bytes; expected to span >2 groups", len(img))
+	}
+	back, err := ReadImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		name := fmt.Sprintf("/payload/blob-%02d", i)
+		f := back.Lookup(name)
+		if f == nil {
+			t.Fatalf("%s missing", name)
+		}
+		if len(f.Data) != 2<<20 {
+			t.Fatalf("%s is %d bytes", name, len(f.Data))
+		}
+		for j := 0; j < len(f.Data); j += 4099 {
+			if f.Data[j] != byte(i+j*7) {
+				t.Fatalf("%s corrupted at %d", name, j)
+			}
+		}
+	}
+}
+
+func TestManyInodesSpanGroups(t *testing.T) {
+	// More inodes than one group's table holds (512/group).
+	var children []*File
+	for i := 0; i < 1200; i++ {
+		children = append(children, NewFile(fmt.Sprintf("f%04d", i), 0o644, []byte{byte(i), byte(i >> 8)}))
+	}
+	root := NewDir("", children...)
+	img, err := WriteImage(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Children) != 1200 {
+		t.Fatalf("%d children, want 1200", len(back.Children))
+	}
+	for _, i := range []int{0, 511, 512, 1024, 1199} {
+		f := back.Child(fmt.Sprintf("f%04d", i))
+		if f == nil || len(f.Data) != 2 || f.Data[0] != byte(i) {
+			t.Fatalf("entry %d corrupted", i)
+		}
+	}
+}
+
+// Property: arbitrary single-byte corruption of a valid image must never
+// panic the reader — it either parses (benign corruption) or errors.
+func TestReaderCorruptionRobustness(t *testing.T) {
+	img, err := WriteImage(sampleTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(offset uint32, val byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		mut := append([]byte(nil), img...)
+		mut[int(offset)%len(mut)] = val
+		ReadImage(mut) // outcome irrelevant; absence of panic is the property
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arbitrary truncation never panics either.
+func TestReaderTruncationRobustness(t *testing.T) {
+	img, err := WriteImage(sampleTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(n uint32) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		ReadImage(img[:int(n)%(len(img)+1)])
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

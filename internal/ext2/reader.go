@@ -1,0 +1,244 @@
+package ext2
+
+import "fmt"
+
+// ReadImage parses a complete ext2 image (as produced by WriteImage, or
+// any single-block-group rev-0 image with 1 KiB blocks) back into a file
+// tree rooted at a nameless directory.
+func ReadImage(img []byte) (*File, error) {
+	r, err := newReader(img)
+	if err != nil {
+		return nil, err
+	}
+	root, err := r.readDir(rootInode, make(map[uint32]bool))
+	if err != nil {
+		return nil, err
+	}
+	root.Name = ""
+	return root, nil
+}
+
+type reader struct {
+	img            []byte
+	inodesPerGroup uint32
+	inodesTotal    uint32
+	totalBlocks    uint32
+	groups         uint32
+}
+
+func newReader(img []byte) (*reader, error) {
+	if len(img) < 3*BlockSize {
+		return nil, fmt.Errorf("ext2: image too small (%d bytes)", len(img))
+	}
+	sb := img[BlockSize : 2*BlockSize]
+	if le.Uint16(sb[56:]) != superMagic {
+		return nil, fmt.Errorf("ext2: bad magic %#x", le.Uint16(sb[56:]))
+	}
+	if logBlock := le.Uint32(sb[24:]); logBlock != 0 {
+		return nil, fmt.Errorf("ext2: unsupported block size %d", BlockSize<<logBlock)
+	}
+	r := &reader{
+		img:            img,
+		inodesPerGroup: le.Uint32(sb[40:]),
+		inodesTotal:    le.Uint32(sb[0:]),
+		totalBlocks:    le.Uint32(sb[4:]),
+	}
+	if int(r.totalBlocks)*BlockSize > len(img) {
+		return nil, fmt.Errorf("ext2: superblock claims %d blocks, image has %d", r.totalBlocks, len(img)/BlockSize)
+	}
+	bpg := le.Uint32(sb[32:])
+	if bpg == 0 || r.inodesPerGroup == 0 {
+		return nil, fmt.Errorf("ext2: zero blocks or inodes per group")
+	}
+	r.groups = (r.totalBlocks - firstDataBlock + bpg - 1) / bpg
+	// Sanity-check every group descriptor's inode table pointer.
+	for g := uint32(0); g < r.groups; g++ {
+		it := r.inodeTableOf(g)
+		if it == 0 || it >= r.totalBlocks {
+			return nil, fmt.Errorf("ext2: group %d: bad inode table start %d", g, it)
+		}
+	}
+	return r, nil
+}
+
+// inodeTableOf reads group g's bg_inode_table from the descriptor table.
+func (r *reader) inodeTableOf(g uint32) uint32 {
+	off := 2*BlockSize + int(g)*32 + 8
+	if off+4 > len(r.img) {
+		return 0
+	}
+	return le.Uint32(r.img[off:])
+}
+
+func (r *reader) block(n uint32) ([]byte, error) {
+	if n == 0 || n >= r.totalBlocks {
+		return nil, fmt.Errorf("ext2: block %d out of range", n)
+	}
+	return r.img[int(n)*BlockSize : (int(n)+1)*BlockSize], nil
+}
+
+type rawInode struct {
+	mode  uint16
+	size  uint32
+	block [15]uint32
+	raw   []byte
+}
+
+func (r *reader) inode(ino uint32) (*rawInode, error) {
+	if ino == 0 || ino > r.inodesTotal {
+		return nil, fmt.Errorf("ext2: inode %d out of range", ino)
+	}
+	g := (ino - 1) / r.inodesPerGroup
+	idx := (ino - 1) % r.inodesPerGroup
+	off := int(r.inodeTableOf(g))*BlockSize + int(idx)*InodeSize
+	if off+InodeSize > len(r.img) {
+		return nil, fmt.Errorf("ext2: inode %d beyond image", ino)
+	}
+	b := r.img[off : off+InodeSize]
+	in := &rawInode{
+		mode: le.Uint16(b[0:]),
+		size: le.Uint32(b[4:]),
+		raw:  b,
+	}
+	for i := range in.block {
+		in.block[i] = le.Uint32(b[40+4*i:])
+	}
+	return in, nil
+}
+
+// readData collects a file's contents through direct and indirect blocks.
+func (r *reader) readData(in *rawInode) ([]byte, error) {
+	remaining := int(in.size)
+	out := make([]byte, 0, remaining)
+	appendBlock := func(bn uint32) error {
+		if remaining <= 0 {
+			return nil
+		}
+		b, err := r.block(bn)
+		if err != nil {
+			return err
+		}
+		n := remaining
+		if n > BlockSize {
+			n = BlockSize
+		}
+		out = append(out, b[:n]...)
+		remaining -= n
+		return nil
+	}
+	for i := 0; i < directBlocks && remaining > 0; i++ {
+		if in.block[i] == 0 {
+			return nil, fmt.Errorf("ext2: sparse files unsupported")
+		}
+		if err := appendBlock(in.block[i]); err != nil {
+			return nil, err
+		}
+	}
+	if remaining > 0 && in.block[12] != 0 {
+		if err := r.walkIndirect(in.block[12], 1, func(bn uint32) error { return appendBlock(bn) }); err != nil {
+			return nil, err
+		}
+	}
+	if remaining > 0 && in.block[13] != 0 {
+		if err := r.walkIndirect(in.block[13], 2, func(bn uint32) error { return appendBlock(bn) }); err != nil {
+			return nil, err
+		}
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("ext2: inode claims %d bytes but blocks are exhausted", in.size)
+	}
+	return out, nil
+}
+
+func (r *reader) walkIndirect(bn uint32, depth int, f func(uint32) error) error {
+	b, err := r.block(bn)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < pointersPerBlock; i++ {
+		p := le.Uint32(b[i*4:])
+		if p == 0 {
+			continue
+		}
+		if depth > 1 {
+			if err := r.walkIndirect(p, depth-1, f); err != nil {
+				return err
+			}
+		} else if err := f(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *reader) readDir(ino uint32, visiting map[uint32]bool) (*File, error) {
+	if visiting[ino] {
+		return nil, fmt.Errorf("ext2: directory cycle at inode %d", ino)
+	}
+	visiting[ino] = true
+	defer delete(visiting, ino)
+
+	in, err := r.inode(ino)
+	if err != nil {
+		return nil, err
+	}
+	if in.mode&modeDir == 0 {
+		return nil, fmt.Errorf("ext2: inode %d is not a directory", ino)
+	}
+	data, err := r.readData(in)
+	if err != nil {
+		return nil, err
+	}
+	dir := &File{Mode: in.mode & 0o7777, Dir: true}
+	off := 0
+	for off+8 <= len(data) {
+		entIno := le.Uint32(data[off:])
+		recLen := int(le.Uint16(data[off+4:]))
+		nameLen := int(data[off+6])
+		if recLen < 8 || off+recLen > len(data) || 8+nameLen > recLen {
+			return nil, fmt.Errorf("ext2: corrupt directory entry at offset %d", off)
+		}
+		name := string(data[off+8 : off+8+nameLen])
+		off += recLen
+		if entIno == 0 || name == "." || name == ".." {
+			continue
+		}
+		child, err := r.readNode(entIno, visiting)
+		if err != nil {
+			return nil, err
+		}
+		child.Name = name
+		dir.Children = append(dir.Children, child)
+	}
+	return dir, nil
+}
+
+func (r *reader) readNode(ino uint32, visiting map[uint32]bool) (*File, error) {
+	in, err := r.inode(ino)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case in.mode&modeDir == modeDir:
+		return r.readDir(ino, visiting)
+	case in.mode&modeSymlink == modeSymlink:
+		f := &File{Mode: in.mode & 0o7777, Symlink: true}
+		if in.size < 60 {
+			// Fast symlink: target stored inline in the i_block area.
+			f.Data = append([]byte(nil), in.raw[40:40+in.size]...)
+		} else {
+			data, err := r.readData(in)
+			if err != nil {
+				return nil, err
+			}
+			f.Data = data
+		}
+		return f, nil
+	default:
+		data, err := r.readData(in)
+		if err != nil {
+			return nil, err
+		}
+		return &File{Mode: in.mode & 0o7777, Data: data}, nil
+	}
+}

@@ -1,0 +1,441 @@
+package ext2
+
+import "fmt"
+
+// WriteImage serializes the file tree rooted at root (which must be a
+// directory; its Name is ignored) into a complete ext2 image.
+func WriteImage(root *File) ([]byte, error) {
+	if root == nil || !root.Dir {
+		return nil, fmt.Errorf("ext2: root must be a directory")
+	}
+	if err := root.validate(); err != nil {
+		return nil, err
+	}
+
+	w := &writer{}
+	w.plan(root)
+
+	// Assign inode numbers: root gets 2, everything else sequentially.
+	w.assign(root, rootInode)
+
+	// Serialize file and directory contents into data blocks.
+	if err := w.writeNode(root, rootInode, rootInode); err != nil {
+		return nil, err
+	}
+	return w.finish()
+}
+
+type inodeInfo struct {
+	mode       uint16
+	size       uint32
+	links      uint16
+	block      [15]uint32 // direct/indirect pointers as in struct ext2_inode
+	dataInline []byte     // fast symlink target stored in i_block
+	blocks512  uint32     // count of 512-byte sectors, including indirect blocks
+}
+
+type writer struct {
+	inodeCount int
+	inodeOf    map[*File]uint32
+	inodes     map[uint32]*inodeInfo
+	data       [][]byte // allocated data blocks in order
+}
+
+// plan counts inodes so geometry can be fixed before writing.
+func (w *writer) plan(root *File) {
+	w.inodeOf = make(map[*File]uint32)
+	w.inodes = make(map[uint32]*inodeInfo)
+	count := 0
+	root.Walk(func(_ string, n *File) { count++ })
+	w.inodeCount = count
+}
+
+func (w *writer) assign(root *File, rootIno uint32) {
+	next := uint32(firstFreeInode)
+	w.inodeOf[root] = rootIno
+	root.Walk(func(_ string, n *File) {
+		if n == root {
+			return
+		}
+		w.inodeOf[n] = next
+		next++
+	})
+}
+
+// allocBlock appends a data block and returns its absolute block number.
+// Data blocks are laid out after the metadata area; the offset is fixed in
+// finish(), so block numbers here are provisional indices resolved later.
+func (w *writer) allocBlock(b []byte) uint32 {
+	if len(b) > BlockSize {
+		panic("ext2: oversized block")
+	}
+	blk := make([]byte, BlockSize)
+	copy(blk, b)
+	w.data = append(w.data, blk)
+	return uint32(len(w.data)) // 1-based provisional index
+}
+
+// storeData writes content into data blocks and fills the inode's block
+// pointers, using direct, single-indirect and double-indirect blocks.
+func (w *writer) storeData(ino *inodeInfo, content []byte) error {
+	nblocks := (len(content) + BlockSize - 1) / BlockSize
+	if nblocks > maxFileBlocks {
+		return fmt.Errorf("ext2: file of %d bytes exceeds maximum size", len(content))
+	}
+	blockIDs := make([]uint32, 0, nblocks)
+	for i := 0; i < nblocks; i++ {
+		end := (i + 1) * BlockSize
+		if end > len(content) {
+			end = len(content)
+		}
+		blockIDs = append(blockIDs, w.allocBlock(content[i*BlockSize:end]))
+	}
+	dataBlocks := uint32(nblocks)
+
+	// Direct pointers.
+	for i := 0; i < len(blockIDs) && i < directBlocks; i++ {
+		ino.block[i] = blockIDs[i]
+	}
+	rest := blockIDs
+	if len(rest) > directBlocks {
+		rest = rest[directBlocks:]
+	} else {
+		rest = nil
+	}
+	// Single indirect.
+	if len(rest) > 0 {
+		n := len(rest)
+		if n > pointersPerBlock {
+			n = pointersPerBlock
+		}
+		ino.block[12] = w.allocPointerBlock(rest[:n])
+		dataBlocks++
+		rest = rest[n:]
+	}
+	// Double indirect.
+	if len(rest) > 0 {
+		var l1 []uint32
+		for len(rest) > 0 {
+			n := len(rest)
+			if n > pointersPerBlock {
+				n = pointersPerBlock
+			}
+			l1 = append(l1, w.allocPointerBlock(rest[:n]))
+			dataBlocks++
+			rest = rest[n:]
+		}
+		ino.block[13] = w.allocPointerBlock(l1)
+		dataBlocks++
+	}
+	ino.size = uint32(len(content))
+	ino.blocks512 = dataBlocks * (BlockSize / 512)
+	return nil
+}
+
+func (w *writer) allocPointerBlock(ptrs []uint32) uint32 {
+	b := make([]byte, BlockSize)
+	for i, p := range ptrs {
+		le.PutUint32(b[i*4:], p)
+	}
+	return w.allocBlock(b)
+}
+
+// writeNode serializes one node (and, for directories, recursively its
+// children) into inodes and data blocks.
+func (w *writer) writeNode(n *File, ino, parentIno uint32) error {
+	info := &inodeInfo{links: 1}
+	w.inodes[ino] = info
+	switch {
+	case n.Dir:
+		info.mode = modeDir | (n.Mode & 0o7777)
+		info.links = 2 // "." and the parent's entry
+		entries := []dirEntry{
+			{ino: ino, name: ".", ftype: fileTypeDir},
+			{ino: parentIno, name: "..", ftype: fileTypeDir},
+		}
+		for _, c := range n.sortedChildren() {
+			cIno := w.inodeOf[c]
+			ft := byte(fileTypeRegular)
+			switch {
+			case c.Dir:
+				ft = fileTypeDir
+				info.links++ // child's ".." references us
+			case c.Symlink:
+				ft = fileTypeSymlink
+			}
+			entries = append(entries, dirEntry{ino: cIno, name: c.Name, ftype: ft})
+			if err := w.writeNode(c, cIno, ino); err != nil {
+				return err
+			}
+		}
+		if err := w.storeData(info, encodeDirEntries(entries)); err != nil {
+			return err
+		}
+	case n.Symlink:
+		info.mode = modeSymlink | (n.Mode & 0o7777)
+		if len(n.Data) < 60 {
+			// Fast symlink: target lives in the i_block area.
+			info.dataInline = append([]byte(nil), n.Data...)
+			info.size = uint32(len(n.Data))
+		} else if err := w.storeData(info, n.Data); err != nil {
+			return err
+		}
+	default:
+		info.mode = modeFile | (n.Mode & 0o7777)
+		if err := w.storeData(info, n.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type dirEntry struct {
+	ino   uint32
+	name  string
+	ftype byte
+}
+
+// encodeDirEntries lays out ext2_dir_entry_2 records, padding the final
+// entry of each block to the block boundary as ext2 requires.
+func encodeDirEntries(entries []dirEntry) []byte {
+	var out []byte
+	blockUsed := 0
+	for i, e := range entries {
+		need := 8 + ((len(e.name) + 3) &^ 3)
+		if blockUsed+need > BlockSize {
+			// Extend the previous record to the end of the block.
+			fixLastRecLen(out, blockUsed)
+			out = append(out, make([]byte, BlockSize-blockUsed)...)
+			blockUsed = 0
+		}
+		recLen := need
+		if i == len(entries)-1 {
+			recLen = BlockSize - blockUsed // last record fills the block
+		}
+		rec := make([]byte, recLen)
+		le.PutUint32(rec[0:], e.ino)
+		le.PutUint16(rec[4:], uint16(recLen))
+		rec[6] = byte(len(e.name))
+		rec[7] = e.ftype
+		copy(rec[8:], e.name)
+		out = append(out, rec...)
+		blockUsed += recLen
+		if blockUsed == BlockSize {
+			blockUsed = 0
+		}
+	}
+	return out
+}
+
+// fixLastRecLen widens the rec_len of the final record in the current
+// block so it reaches the block boundary.
+func fixLastRecLen(out []byte, blockUsed int) {
+	if blockUsed == 0 {
+		return
+	}
+	// Find the final record by walking from the start of the last block.
+	start := len(out) - blockUsed
+	off := start
+	for {
+		recLen := int(le.Uint16(out[off+4:]))
+		if off+recLen >= len(out) {
+			le.PutUint16(out[off+4:], uint16(BlockSize-(off-start)))
+			return
+		}
+		off += recLen
+	}
+}
+
+// Multi-group geometry. Each block group spans blocksPerGroup blocks and
+// holds its own block bitmap, inode bitmap and inode-table slice; the
+// superblock and the group descriptor table live in group 0 only (the
+// sparse-superblock layout). inodesPerGroup is fixed so an inode's group
+// is ino/inodesPerGroup.
+const (
+	blocksPerGroup = BlockSize * 8 // one bitmap block covers the group
+	inodesPerGroup = 512
+	inodeTableBlks = inodesPerGroup * InodeSize / BlockSize // 64
+	maxGroups      = 1024                                   // 8 GiB images; far beyond any rootfs here
+)
+
+// groupGeometry describes the computed layout of one block group.
+type groupGeometry struct {
+	start      int // first block of the group
+	blockBM    int
+	inodeBM    int
+	inodeTable int
+	dataStart  int
+	dataEnd    int // exclusive; trimmed for the final group
+}
+
+// finish assembles the final image: superblock, group descriptor table,
+// per-group bitmaps and inode tables, and the relocated data blocks.
+func (w *writer) finish() ([]byte, error) {
+	usedInodes := firstFreeInode - 1 + w.inodeCount - 1 // root occupies reserved slot 2
+	inodeGroups := (usedInodes + inodesPerGroup - 1) / inodesPerGroup
+
+	// Determine the group count: group 0 additionally carries the
+	// superblock and the GDT, so its data capacity depends on the group
+	// count itself — iterate until stable.
+	groups := inodeGroups
+	if groups == 0 {
+		groups = 1
+	}
+	for {
+		gdtBlocks := (groups*32 + BlockSize - 1) / BlockSize
+		capacity := 0
+		for g := 0; g < groups; g++ {
+			overhead := 2 + inodeTableBlks // bitmaps + inode table
+			if g == 0 {
+				overhead += 1 + gdtBlocks // superblock + GDT
+			}
+			capacity += blocksPerGroup - overhead
+		}
+		if capacity >= len(w.data) {
+			break
+		}
+		groups++
+		if groups > maxGroups {
+			return nil, fmt.Errorf("ext2: image needs more than %d block groups", maxGroups)
+		}
+	}
+	gdtBlocks := (groups*32 + BlockSize - 1) / BlockSize
+
+	// Lay out each group and assign data blocks to group data areas.
+	geo := make([]groupGeometry, groups)
+	absOf := make([]uint32, len(w.data)) // provisional index -> absolute block
+	assigned := 0
+	for g := 0; g < groups; g++ {
+		start := firstDataBlock + g*blocksPerGroup
+		meta := start
+		if g == 0 {
+			meta += 1 + gdtBlocks // skip superblock + GDT
+		}
+		geo[g] = groupGeometry{
+			start:      start,
+			blockBM:    meta,
+			inodeBM:    meta + 1,
+			inodeTable: meta + 2,
+			dataStart:  meta + 2 + inodeTableBlks,
+		}
+		room := start + blocksPerGroup - geo[g].dataStart
+		take := len(w.data) - assigned
+		if take > room {
+			take = room
+		}
+		for i := 0; i < take; i++ {
+			absOf[assigned+i] = uint32(geo[g].dataStart + i)
+		}
+		geo[g].dataEnd = geo[g].dataStart + take
+		assigned += take
+	}
+	totalBlocks := geo[groups-1].dataEnd
+	img := make([]byte, totalBlocks*BlockSize)
+
+	abs := func(provisional uint32) uint32 {
+		if provisional == 0 {
+			return 0
+		}
+		return absOf[provisional-1]
+	}
+	for i, blk := range w.data {
+		copy(img[int(absOf[i])*BlockSize:], blk)
+	}
+
+	// Inode tables: locate each inode's slot within its group.
+	inodeSlot := func(ino uint32) []byte {
+		idx := int(ino) - 1
+		g := idx / inodesPerGroup
+		off := geo[g].inodeTable*BlockSize + (idx%inodesPerGroup)*InodeSize
+		return img[off : off+InodeSize]
+	}
+	for ino, info := range w.inodes {
+		b := inodeSlot(ino)
+		le.PutUint16(b[0:], info.mode)
+		le.PutUint32(b[4:], info.size)
+		le.PutUint16(b[26:], info.links)
+		le.PutUint32(b[28:], info.blocks512)
+		if info.dataInline != nil {
+			copy(b[40:100], info.dataInline)
+		} else {
+			for i, p := range info.block {
+				le.PutUint32(b[40+4*i:], abs(p))
+			}
+			// Rewrite indirect pointer blocks with absolute numbers.
+			if info.block[12] != 0 {
+				w.rewritePointers(img, abs(info.block[12]), abs, 1)
+			}
+			if info.block[13] != 0 {
+				w.rewritePointers(img, abs(info.block[13]), abs, 2)
+			}
+		}
+	}
+
+	// Bitmaps: every metadata and assigned data block in a group is used.
+	for g := 0; g < groups; g++ {
+		bm := img[geo[g].blockBM*BlockSize : (geo[g].blockBM+1)*BlockSize]
+		for b := geo[g].start; b < geo[g].dataEnd; b++ {
+			i := b - geo[g].start
+			bm[i/8] |= 1 << (i % 8)
+		}
+		ibm := img[geo[g].inodeBM*BlockSize : (geo[g].inodeBM+1)*BlockSize]
+		lo := g * inodesPerGroup
+		for i := lo; i < usedInodes && i < lo+inodesPerGroup; i++ {
+			j := i - lo
+			ibm[j/8] |= 1 << (j % 8)
+		}
+	}
+
+	// Superblock at offset 1024.
+	sb := img[1*BlockSize : 2*BlockSize]
+	le.PutUint32(sb[0:], uint32(groups*inodesPerGroup))             // s_inodes_count
+	le.PutUint32(sb[4:], uint32(totalBlocks))                       // s_blocks_count
+	le.PutUint32(sb[12:], 0)                                        // s_free_blocks_count
+	le.PutUint32(sb[16:], uint32(groups*inodesPerGroup-usedInodes)) // s_free_inodes_count
+	le.PutUint32(sb[20:], firstDataBlock)                           // s_first_data_block
+	le.PutUint32(sb[24:], 0)                                        // s_log_block_size: 1 KiB
+	le.PutUint32(sb[32:], uint32(blocksPerGroup))                   // s_blocks_per_group
+	le.PutUint32(sb[40:], uint32(inodesPerGroup))                   // s_inodes_per_group
+	le.PutUint16(sb[56:], superMagic)                               // s_magic
+	le.PutUint16(sb[58:], 1)                                        // s_state: clean
+
+	// Group descriptor table starting in block 2.
+	for g := 0; g < groups; g++ {
+		gd := img[2*BlockSize+g*32 : 2*BlockSize+g*32+32]
+		le.PutUint32(gd[0:], uint32(geo[g].blockBM))
+		le.PutUint32(gd[4:], uint32(geo[g].inodeBM))
+		le.PutUint32(gd[8:], uint32(geo[g].inodeTable))
+		if g == 0 {
+			le.PutUint16(gd[16:], uint16(w.countDirs())) // bg_used_dirs_count
+		}
+	}
+	return img, nil
+}
+
+// rewritePointers converts the provisional block numbers inside an
+// indirect block (already copied into img) to absolute numbers. depth 1
+// rewrites a single-indirect block, depth 2 a double-indirect one.
+func (w *writer) rewritePointers(img []byte, absBlock uint32, abs func(uint32) uint32, depth int) {
+	b := img[int(absBlock)*BlockSize : (int(absBlock)+1)*BlockSize]
+	for i := 0; i < pointersPerBlock; i++ {
+		p := le.Uint32(b[i*4:])
+		if p == 0 {
+			continue
+		}
+		a := abs(p)
+		le.PutUint32(b[i*4:], a)
+		if depth == 2 {
+			w.rewritePointers(img, a, abs, 1)
+		}
+	}
+}
+
+func (w *writer) countDirs() int {
+	n := 0
+	for _, info := range w.inodes {
+		if info.mode&modeDir != 0 {
+			n++
+		}
+	}
+	return n
+}

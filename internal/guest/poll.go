@@ -1,0 +1,340 @@
+package guest
+
+import (
+	"sort"
+
+	"lupine/internal/simclock"
+)
+
+type simDur = simclock.Duration
+
+// Poll readiness events.
+const (
+	PollIn  = 1
+	PollOut = 4
+)
+
+// epollInst is an epoll instance: a set of watched descriptors. Readiness
+// is level-triggered and recomputed on wake, with a kernel-wide poller
+// wait queue providing the wakeups.
+type epollInst struct {
+	interest map[int]*FD
+}
+
+// EpollCreate creates an epoll instance (gated on CONFIG_EPOLL).
+func (p *Proc) EpollCreate() (int, Errno) {
+	if e := p.sysEnter("epoll_create"); e != OK {
+		p.k.consolePrint("epoll_create1 failed: function not implemented\n")
+		return -1, e
+	}
+	ep := &epollInst{interest: make(map[int]*FD)}
+	fd := &FD{refs: 1, kind: fdEpoll, ep: ep}
+	return p.fds.alloc(fd), OK
+}
+
+// EpollCtl adds or removes a descriptor from the interest set.
+func (p *Proc) EpollCtl(epfd, fd int, add bool) Errno {
+	if e := p.sysEnter("epoll_ctl"); e != OK {
+		return e
+	}
+	ef := p.fds.get(epfd)
+	if ef == nil || ef.kind != fdEpoll {
+		return EBADF
+	}
+	if add {
+		tf := p.fds.get(fd)
+		if tf == nil {
+			return EBADF
+		}
+		ef.ep.interest[fd] = tf
+	} else {
+		delete(ef.ep.interest, fd)
+	}
+	return OK
+}
+
+// EpollEvent reports one ready descriptor.
+type EpollEvent struct {
+	FD     int
+	Events int
+}
+
+// EpollWait blocks until at least one watched descriptor is ready or the
+// timeout elapses (timeout 0 polls; negative waits forever).
+func (p *Proc) EpollWait(epfd int, timeout simDur) ([]EpollEvent, Errno) {
+	if e := p.sysEnter("epoll_wait"); e != OK {
+		return nil, e
+	}
+	ef := p.fds.get(epfd)
+	if ef == nil || ef.kind != fdEpoll {
+		return nil, EBADF
+	}
+	p.charge(p.k.cost.PollWork)
+	var deadline simclock.Time
+	if timeout >= 0 {
+		deadline = p.cpu.now.Add(timeout)
+	}
+	for {
+		if ready := ef.ep.scan(); len(ready) > 0 {
+			return ready, OK
+		}
+		if timeout == 0 {
+			return nil, OK
+		}
+		// Watched timerfds supply their own wake deadline: nothing else
+		// announces their expiry.
+		wake := deadline
+		haveWake := timeout > 0
+		for _, f := range ef.ep.interest {
+			if f.kind == fdTimerFD && !f.tfd.isExpired() {
+				if !haveWake || f.tfd.expireAt < wake {
+					wake, haveWake = f.tfd.expireAt, true
+				}
+			}
+		}
+		if haveWake {
+			if p.blockOnTimeout(p.k.pollers, wake) && (timeout > 0 && wake == deadline) {
+				return nil, OK // the caller's timeout elapsed
+			}
+		} else {
+			p.blockOn(p.k.pollers)
+		}
+	}
+}
+
+// scan computes the level-triggered ready set.
+func (ep *epollInst) scan() []EpollEvent {
+	fds := make([]int, 0, len(ep.interest))
+	for fd := range ep.interest {
+		fds = append(fds, fd)
+	}
+	sort.Ints(fds)
+	var out []EpollEvent
+	for _, fd := range fds {
+		f := ep.interest[fd]
+		ev := 0
+		if fdReadable(f) {
+			ev |= PollIn
+		}
+		if fdWritable(f) {
+			ev |= PollOut
+		}
+		if ev&PollIn != 0 { // report only input-readiness; writability is almost always true
+			out = append(out, EpollEvent{FD: fd, Events: ev})
+		}
+	}
+	return out
+}
+
+func fdReadable(f *FD) bool {
+	switch f.kind {
+	case fdPipeR:
+		return f.pipe.readable()
+	case fdSocket:
+		return f.sock.readable()
+	case fdEventFD:
+		return f.evfd.count > 0
+	case fdTimerFD:
+		return f.tfd.isExpired()
+	case fdFile:
+		return true
+	}
+	return false
+}
+
+func fdWritable(f *FD) bool {
+	switch f.kind {
+	case fdPipeW:
+		return f.pipe.writable()
+	case fdSocket:
+		return f.sock.writable()
+	case fdFile, fdEventFD:
+		return true
+	}
+	return false
+}
+
+// Select models select(2) over nfds descriptors (cost only; callers pass
+// the descriptors they care about). Used by lmbench's slct/100fd rows.
+func (p *Proc) Select(fds []int, timeout simDur) (int, Errno) {
+	p.sysEnterFree("select")
+	var scan simclock.Duration
+	for _, fd := range fds {
+		if f := p.fds.get(fd); f != nil && f.kind == fdSocket {
+			scan += p.k.cost.SelectSockPerFD
+		} else {
+			scan += p.k.cost.SelectPerFD
+		}
+	}
+	p.charge(p.netCost(scan))
+	ready := 0
+	for _, fd := range fds {
+		if f := p.fds.get(fd); f != nil && fdReadable(f) {
+			ready++
+		}
+	}
+	if ready > 0 || timeout == 0 {
+		return ready, OK
+	}
+	deadline := p.cpu.now.Add(timeout)
+	for ready == 0 {
+		if timeout > 0 {
+			if p.blockOnTimeout(p.k.pollers, deadline) {
+				break
+			}
+		} else {
+			p.blockOn(p.k.pollers)
+		}
+		for _, fd := range fds {
+			if f := p.fds.get(fd); f != nil && fdReadable(f) {
+				ready++
+			}
+		}
+	}
+	return ready, OK
+}
+
+// --- eventfd ---
+
+type eventFD struct {
+	count uint64
+	rq    *waitQueue
+}
+
+// EventFD creates an eventfd (gated on CONFIG_EVENTFD).
+func (p *Proc) EventFD() (int, Errno) {
+	if e := p.sysEnter("eventfd2"); e != OK {
+		p.k.consolePrint("eventfd failed: function not implemented\n")
+		return -1, e
+	}
+	ev := &eventFD{rq: newWaitQueue("eventfd")}
+	fd := &FD{refs: 1, kind: fdEventFD, evfd: ev}
+	return p.fds.alloc(fd), OK
+}
+
+func (ev *eventFD) read(p *Proc, f *FD, buf []byte) (int, Errno) {
+	p.charge(p.k.cost.ReadWork)
+	for ev.count == 0 {
+		if f.flags&ONonblock != 0 {
+			return 0, EAGAIN
+		}
+		p.blockOn(ev.rq)
+	}
+	v := ev.count
+	ev.count = 0
+	for i := 0; i < 8 && i < len(buf); i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	return 8, OK
+}
+
+func (ev *eventFD) write(p *Proc, f *FD, buf []byte) (int, Errno) {
+	p.charge(p.k.cost.WriteWork)
+	var v uint64
+	for i := 0; i < 8 && i < len(buf); i++ {
+		v |= uint64(buf[i]) << (8 * i)
+	}
+	if v == 0 {
+		v = 1
+	}
+	ev.count += v
+	ev.rq.wake(p.k, 1, p.cpu.now)
+	p.k.wakePollers(p.cpu.now)
+	return 8, OK
+}
+
+// --- timerfd ---
+
+type timerFD struct {
+	k        *Kernel
+	expireAt simclock.Time
+}
+
+func (t *timerFD) isExpired() bool { return t.k.Now() >= t.expireAt }
+
+// TimerFD creates a timerfd armed to expire after d (gated on
+// CONFIG_TIMERFD).
+func (p *Proc) TimerFD(d simDur) (int, Errno) {
+	if e := p.sysEnter("timerfd_create"); e != OK {
+		p.k.consolePrint("timerfd_create failed: function not implemented\n")
+		return -1, e
+	}
+	tfd := &timerFD{k: p.k, expireAt: p.cpu.now.Add(d)}
+	fd := &FD{refs: 1, kind: fdTimerFD, tfd: tfd}
+	return p.fds.alloc(fd), OK
+}
+
+func (t *timerFD) read(p *Proc, f *FD, buf []byte) (int, Errno) {
+	p.charge(p.k.cost.ReadWork)
+	if !t.isExpired() {
+		if f.flags&ONonblock != 0 {
+			return 0, EAGAIN
+		}
+		for !t.isExpired() {
+			p.blockOnTimeout(p.k.pollers, t.expireAt)
+		}
+	}
+	if len(buf) > 0 {
+		buf[0] = 1
+	}
+	return 8, OK
+}
+
+// --- signalfd / inotify / fanotify / misc gated syscalls ---
+
+// SignalFD creates a signalfd (gated on CONFIG_SIGNALFD); the descriptor
+// is accepted but never becomes readable in this model.
+func (p *Proc) SignalFD() (int, Errno) {
+	if e := p.sysEnter("signalfd4"); e != OK {
+		p.k.consolePrint("signalfd failed: function not implemented\n")
+		return -1, e
+	}
+	fd := &FD{refs: 1, kind: fdSignalFD}
+	return p.fds.alloc(fd), OK
+}
+
+// InotifyInit creates an inotify instance (gated on CONFIG_INOTIFY_USER).
+func (p *Proc) InotifyInit() (int, Errno) {
+	if e := p.sysEnter("inotify_init"); e != OK {
+		p.k.consolePrint("inotify_init failed: function not implemented\n")
+		return -1, e
+	}
+	fd := &FD{refs: 1, kind: fdInotify}
+	return p.fds.alloc(fd), OK
+}
+
+// AioSetup initializes an AIO context (gated on CONFIG_AIO).
+func (p *Proc) AioSetup() Errno {
+	if e := p.sysEnter("io_setup"); e != OK {
+		p.k.consolePrint("io_setup failed: function not implemented\n")
+		return e
+	}
+	return OK
+}
+
+// AioSubmit submits an asynchronous I/O request (gated on CONFIG_AIO).
+func (p *Proc) AioSubmit() Errno {
+	if e := p.sysEnter("io_submit"); e != OK {
+		return e
+	}
+	p.charge(p.k.cost.WriteWork * 2)
+	return OK
+}
+
+// Membarrier issues the membarrier syscall (gated on CONFIG_MEMBARRIER).
+func (p *Proc) Membarrier() Errno {
+	if e := p.sysEnter("membarrier"); e != OK {
+		p.k.consolePrint("membarrier failed: function not implemented\n")
+		return e
+	}
+	return OK
+}
+
+// KeyctlAddKey stores a key (gated on CONFIG_KEYS).
+func (p *Proc) KeyctlAddKey(desc string) Errno {
+	if e := p.sysEnter("add_key"); e != OK {
+		p.k.consolePrint("add_key failed: function not implemented\n")
+		return e
+	}
+	return OK
+}

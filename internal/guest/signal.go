@@ -1,0 +1,80 @@
+package guest
+
+// Signals are modeled for their cost profile (lmbench's sig inst / sig
+// hndl rows) and for SIGKILL semantics; full asynchronous delivery is out
+// of scope for the benchmarks the paper runs.
+
+// Common signal numbers.
+const (
+	SIGKILL = 9
+	SIGUSR1 = 10
+	SIGSEGV = 11
+	SIGTERM = 15
+	SIGCHLD = 17
+)
+
+// Sigaction installs a handler for sig (lmbench "sig inst").
+func (p *Proc) Sigaction(sig int) Errno {
+	p.sysEnterFree("rt_sigaction")
+	p.charge(p.k.cost.SignalInst)
+	if sig == SIGKILL {
+		return EINVAL
+	}
+	p.sigHandlers[sig] = true
+	return OK
+}
+
+// RaiseSignal delivers sig to the caller itself, running the installed
+// handler (lmbench "sig hndl": kill(getpid(), n) with a handler).
+func (p *Proc) RaiseSignal(sig int) Errno {
+	p.sysEnterFree("kill")
+	if !p.sigHandlers[sig] {
+		return EINVAL
+	}
+	p.charge(p.netCost(p.k.cost.SignalHndl))
+	return OK
+}
+
+// Kill sends a signal to another process. Only SIGKILL and SIGTERM have
+// modeled semantics: the target is terminated (TERM is treated as unhandled).
+func (p *Proc) Kill(pid, sig int) Errno {
+	p.sysEnterFree("kill")
+	target, ok := p.k.procs[pid]
+	if !ok || target.state == stateDead {
+		return ESRCH
+	}
+	switch sig {
+	case SIGKILL, SIGTERM:
+		if target == p {
+			p.Exit(128 + sig)
+			return OK // unreachable
+		}
+		target.killed = true
+		target.doExit(128 + sig)
+		// If the target is parked somewhere, pull it out so its
+		// goroutine unwinds at next resume; a dead proc on the runq is
+		// skipped by the dispatcher, but the goroutine must still drain.
+		if target.blockedOn != nil {
+			target.blockedOn.remove(target)
+			target.blockedOn = nil
+		}
+		p.k.reapKilled(target)
+		return OK
+	default:
+		// Unmodeled signals are accepted and dropped.
+		return OK
+	}
+}
+
+// reapKilled resumes a killed process goroutine once so it unwinds.
+func (k *Kernel) reapKilled(target *Proc) {
+	// Remove from the run queue if present.
+	for i, q := range k.runq {
+		if q == target {
+			k.runq = append(k.runq[:i], k.runq[i+1:]...)
+			break
+		}
+	}
+	target.resume <- struct{}{}
+	<-k.unwindAck
+}

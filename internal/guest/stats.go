@@ -1,0 +1,24 @@
+package guest
+
+import "fmt"
+
+// Stats are kernel-wide runtime counters, the simulator's equivalent of
+// /proc/stat: useful for asserting *why* a configuration is faster (fewer
+// mode switches) rather than only *that* it is.
+type Stats struct {
+	Syscalls       int64 // syscall entries across all processes
+	ContextSwitch  int64 // context switches charged
+	Wakeups        int64 // wait-queue wakeups delivered
+	TimersFired    int64 // timer expirations delivered
+	ProcsCreated   int64 // processes and threads ever created
+	PageFaultPages int64 // pages committed through Touch/Alloc
+}
+
+// String renders the counters in /proc/stat style.
+func (s Stats) String() string {
+	return fmt.Sprintf("syscalls %d ctxt %d wakeups %d timers %d procs %d pages %d",
+		s.Syscalls, s.ContextSwitch, s.Wakeups, s.TimersFired, s.ProcsCreated, s.PageFaultPages)
+}
+
+// Stats returns a snapshot of the kernel's runtime counters.
+func (k *Kernel) Stats() Stats { return k.stats }

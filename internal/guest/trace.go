@@ -1,0 +1,45 @@
+package guest
+
+import "sort"
+
+// Syscall tracing: an strace-like facility the trace-based manifest
+// generation uses (§3.1 leaves manifest generation to static/dynamic
+// analysis; cmd/manifestgen -trace implements the dynamic-analysis
+// variant). Tracing records which kernel facilities a workload touches:
+// plain syscall names, plus qualified events for the cases where the
+// syscall name alone does not identify the configuration dependency
+// (socket address families, mounted filesystem types).
+type tracer struct {
+	events map[string]bool
+}
+
+// EnableTracing starts recording syscall events on this kernel.
+func (k *Kernel) EnableTracing() {
+	if k.tracer == nil {
+		k.tracer = &tracer{events: make(map[string]bool)}
+	}
+}
+
+// Trace returns the recorded events, sorted. Plain events are syscall
+// names ("futex", "epoll_create"); qualified events are
+// "socket:<option>" and "mount:<fstype>".
+func (k *Kernel) Trace() []string {
+	if k.tracer == nil {
+		return nil
+	}
+	out := make([]string, 0, len(k.tracer.events))
+	for e := range k.tracer.events {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// trace records one event if tracing is enabled. External load-generator
+// processes are excluded: their syscalls run on the host, not the guest.
+func (k *Kernel) trace(p *Proc, event string) {
+	if k.tracer == nil || (p != nil && p.external) {
+		return
+	}
+	k.tracer.events[event] = true
+}

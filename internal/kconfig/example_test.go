@@ -1,0 +1,82 @@
+package kconfig_test
+
+import (
+	"fmt"
+
+	"lupine/internal/kconfig"
+)
+
+// Example shows the full life of a configuration: parse a Kconfig
+// fragment, resolve a user request, and minimize it back to a defconfig.
+func Example() {
+	src := `
+config NET
+	bool "Networking support"
+
+config INET
+	bool "TCP/IP networking"
+	depends on NET
+	select CRYPTO_LIB
+
+config CRYPTO_LIB
+	bool
+
+config DEBUG
+	bool "Debugging"
+	default y if INET
+`
+	db := kconfig.NewDatabase()
+	if err := kconfig.NewParser(db, nil).ParseString("net/Kconfig", src); err != nil {
+		panic(err)
+	}
+
+	res, err := kconfig.Resolve(db, kconfig.NewRequest().Enable("NET", "INET"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(res.Config) // .config format, sorted
+
+	min, err := kconfig.Minimize(db, res.Config)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("defconfig:", min.Names())
+	// Output:
+	// CONFIG_CRYPTO_LIB=y
+	// CONFIG_DEBUG=y
+	// CONFIG_INET=y
+	// CONFIG_NET=y
+	// defconfig: [INET NET]
+}
+
+// ExampleResolve_selectWarning demonstrates kconfig's notorious behaviour:
+// select forces a symbol on even when its dependencies are unmet.
+func ExampleResolve_selectWarning() {
+	src := `
+config A
+	bool "a"
+	select B
+
+config B
+	bool "b"
+	depends on C
+
+config C
+	bool "c"
+`
+	db := kconfig.NewDatabase()
+	if err := kconfig.NewParser(db, nil).ParseString("Kconfig", src); err != nil {
+		panic(err)
+	}
+	res, err := kconfig.Resolve(db, kconfig.NewRequest().Enable("A"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("B enabled:", res.Config.Enabled("B"))
+	for _, w := range res.Warnings {
+		fmt.Println("warning:", w)
+	}
+	// Output:
+	// B enabled: true
+	// warning: B: selected despite unmet dependency (C)
+}

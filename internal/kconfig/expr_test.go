@@ -1,0 +1,145 @@
+package kconfig
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func envOf(m map[string]Tristate) Env {
+	return EnvFunc(func(name string) Value { return TriValue(m[name]) })
+}
+
+func TestTristateLogic(t *testing.T) {
+	tests := []struct {
+		a, b    Tristate
+		and, or Tristate
+	}{
+		{No, No, No, No},
+		{No, Module, No, Module},
+		{No, Yes, No, Yes},
+		{Module, Module, Module, Module},
+		{Module, Yes, Module, Yes},
+		{Yes, Yes, Yes, Yes},
+	}
+	for _, tt := range tests {
+		if got := tt.a.And(tt.b); got != tt.and {
+			t.Errorf("%v && %v = %v, want %v", tt.a, tt.b, got, tt.and)
+		}
+		if got := tt.b.And(tt.a); got != tt.and {
+			t.Errorf("%v && %v = %v, want %v (commutativity)", tt.b, tt.a, got, tt.and)
+		}
+		if got := tt.a.Or(tt.b); got != tt.or {
+			t.Errorf("%v || %v = %v, want %v", tt.a, tt.b, got, tt.or)
+		}
+	}
+	if No.Not() != Yes || Yes.Not() != No || Module.Not() != Module {
+		t.Error("tristate negation wrong")
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	env := envOf(map[string]Tristate{"A": Yes, "B": No, "C": Module})
+	tests := []struct {
+		src  string
+		want Tristate
+	}{
+		{"A", Yes},
+		{"B", No},
+		{"C", Module},
+		{"y", Yes},
+		{"n", No},
+		{"m", Module},
+		{"!A", No},
+		{"!B", Yes},
+		{"!C", Module},
+		{"A && B", No},
+		{"A && C", Module},
+		{"A || B", Yes},
+		{"B || C", Module},
+		{"A && (B || C)", Module},
+		{"!(A && B)", Yes},
+		{"A = y", Yes},
+		{"A = n", No},
+		{"A != y", No},
+		{"B = n", Yes},
+		{"C = m", Yes},
+		{"A && !B && C = m", Yes},
+	}
+	for _, tt := range tests {
+		e, err := ParseExpr(tt.src)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", tt.src, err)
+		}
+		if got := e.Eval(env); got != tt.want {
+			t.Errorf("Eval(%q) = %v, want %v", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestExprParseErrors(t *testing.T) {
+	bad := []string{"", "A &&", "&& A", "(A", "A)", "A & B", "A | B", "!", `"unterminated`}
+	for _, src := range bad {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestExprSymbols(t *testing.T) {
+	e, err := ParseExpr("A && !B || C = m && y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Symbols(nil)
+	want := []string{"A", "B", "C"}
+	if len(got) != len(want) {
+		t.Fatalf("Symbols = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Symbols = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: parsing the String() rendering of a parsed expression evaluates
+// identically under arbitrary environments (print/parse round-trip).
+func TestExprStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"A", "!A", "A && B", "A || B", "A && (B || C)",
+		"!(A || B) && C", "A = y", "A != m && B",
+		"A && B && C || !B",
+	}
+	for _, src := range srcs {
+		e1, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", src, err)
+		}
+		e2, err := ParseExpr(e1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q -> %q: %v", src, e1.String(), err)
+		}
+		f := func(a, b, c uint8) bool {
+			env := envOf(map[string]Tristate{
+				"A": Tristate(a % 3),
+				"B": Tristate(b % 3),
+				"C": Tristate(c % 3),
+			})
+			return e1.Eval(env) == e2.Eval(env)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("round-trip mismatch for %q: %v", src, err)
+		}
+	}
+}
+
+// Property: De Morgan's law holds under tristate semantics.
+func TestDeMorganProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := Tristate(a%3), Tristate(b%3)
+		return x.And(y).Not() == x.Not().Or(y.Not())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package kconfig
+
+// Minimize computes a minimal request that resolves to exactly cfg — the
+// `make savedefconfig` operation: every symbol whose value already
+// follows from defaults and selects is dropped from the request. The
+// result is what a kernel developer would commit as a defconfig.
+//
+// The algorithm is greedy elimination in reverse declaration order
+// (later symbols tend to be consequences of earlier ones, so removing
+// them first exposes more removals): drop a symbol, re-resolve, keep the
+// drop if the fixpoint is unchanged.
+func Minimize(db *Database, cfg *Config) (*Request, error) {
+	req := RequestFromConfig(cfg)
+	// Verify the starting point reproduces cfg at all.
+	base, err := Resolve(db, req)
+	if err != nil {
+		return nil, err
+	}
+	if !base.Config.Equal(cfg) {
+		// cfg wasn't produced by this database's rules (e.g. hand-edited
+		// .config); minimizing it would silently change it.
+		return nil, errNotReproducible
+	}
+
+	// Candidates in reverse declaration order.
+	var candidates []string
+	set := make(map[string]Value, cfg.Len())
+	for _, n := range cfg.Names() {
+		set[n] = cfg.Get(n)
+	}
+	for _, o := range db.Options() {
+		if _, ok := set[o.Name]; ok {
+			candidates = append(candidates, o.Name)
+		}
+	}
+	for i, j := 0, len(candidates)-1; i < j; i, j = i+1, j-1 {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	}
+
+	kept := make(map[string]Value, len(set))
+	for n, v := range set {
+		kept[n] = v
+	}
+	for _, n := range candidates {
+		v := kept[n]
+		delete(kept, n)
+		trial := NewRequest()
+		for kn, kv := range kept {
+			trial.Set(kn, kv)
+		}
+		res, err := Resolve(db, trial)
+		if err != nil || !res.Config.Equal(cfg) {
+			kept[n] = v // needed after all
+		}
+	}
+	out := NewRequest()
+	for n, v := range kept {
+		out.Set(n, v)
+	}
+	return out, nil
+}
+
+// errNotReproducible is returned when a config cannot be regenerated from
+// its own values under the database's rules.
+var errNotReproducible = &notReproducibleError{}
+
+type notReproducibleError struct{}
+
+func (*notReproducibleError) Error() string {
+	return "kconfig: configuration is not reproducible from its own values; cannot minimize"
+}

@@ -1,0 +1,222 @@
+package kconfig
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleKconfig = `
+mainmenu "Linux Kernel Configuration"
+
+config FUTEX
+	bool "Enable futex support"
+	default y
+	help
+	  Fast user-space locking. Disabling this breaks glibc-based
+	  applications.
+
+config EPOLL
+	bool "Enable eventpoll support"
+	depends on FUTEX
+	default y
+
+menu "Networking"
+
+config NET
+	bool "Networking support"
+
+if NET
+
+config INET
+	bool "TCP/IP networking"
+	select CRYPTO_LIB if NET
+
+config IPV6
+	tristate "IPv6 protocol"
+	depends on INET
+
+endif
+
+endmenu
+
+config CRYPTO_LIB
+	bool
+
+source "fs/Kconfig"
+`
+
+const fsKconfig = `
+config EXT2_FS
+	tristate "Second extended fs support"
+	default m if NET
+
+config PROC_FS
+	bool "/proc file system support"
+	default y
+`
+
+func parseSample(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	p := NewParser(db, MapLoader{"fs/Kconfig": fsKconfig})
+	if err := p.ParseString("Kconfig", sampleKconfig); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return db
+}
+
+func TestParseBasics(t *testing.T) {
+	db := parseSample(t)
+	if got, want := db.Len(), 8; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	futex := db.Lookup("FUTEX")
+	if futex == nil {
+		t.Fatal("FUTEX not found")
+	}
+	if futex.Type != TypeBool || futex.Prompt != "Enable futex support" {
+		t.Errorf("FUTEX = %+v", futex)
+	}
+	if !strings.Contains(futex.Help, "Fast user-space locking") {
+		t.Errorf("help lost: %q", futex.Help)
+	}
+	if len(futex.Defaults) != 1 || futex.Defaults[0].Value.Tri != Yes {
+		t.Errorf("FUTEX defaults = %+v", futex.Defaults)
+	}
+}
+
+func TestParseDependsAndIfBlocks(t *testing.T) {
+	db := parseSample(t)
+	epoll := db.Lookup("EPOLL")
+	if epoll.Depends == nil || epoll.Depends.String() != "FUTEX" {
+		t.Errorf("EPOLL depends = %v", exprString(epoll.Depends))
+	}
+	// INET sits inside `if NET`, so it inherits that dependency.
+	inet := db.Lookup("INET")
+	if inet.Depends == nil || inet.Depends.String() != "NET" {
+		t.Errorf("INET depends = %v", exprString(inet.Depends))
+	}
+	// IPV6 combines the if-block and its own depends.
+	ipv6 := db.Lookup("IPV6")
+	if got := exprString(ipv6.Depends); got != "NET && INET" {
+		t.Errorf("IPV6 depends = %q, want %q", got, "NET && INET")
+	}
+	if ipv6.Type != TypeTristate {
+		t.Errorf("IPV6 type = %v", ipv6.Type)
+	}
+}
+
+func TestParseSelect(t *testing.T) {
+	db := parseSample(t)
+	inet := db.Lookup("INET")
+	if len(inet.Selects) != 1 || inet.Selects[0].Target != "CRYPTO_LIB" {
+		t.Fatalf("INET selects = %+v", inet.Selects)
+	}
+	if inet.Selects[0].Cond == nil || inet.Selects[0].Cond.String() != "NET" {
+		t.Errorf("select cond = %v", exprString(inet.Selects[0].Cond))
+	}
+	// CRYPTO_LIB has no prompt: not user-visible.
+	cl := db.Lookup("CRYPTO_LIB")
+	if cl.Prompt != "" {
+		t.Errorf("CRYPTO_LIB prompt = %q, want hidden", cl.Prompt)
+	}
+}
+
+func TestParseSourceAndDirs(t *testing.T) {
+	db := parseSample(t)
+	ext2 := db.Lookup("EXT2_FS")
+	if ext2 == nil {
+		t.Fatal("EXT2_FS not parsed from sourced file")
+	}
+	if ext2.Dir != "fs" {
+		t.Errorf("EXT2_FS dir = %q, want fs", ext2.Dir)
+	}
+	if len(ext2.Defaults) != 1 || exprString(ext2.Defaults[0].Cond) != "NET" {
+		t.Errorf("EXT2_FS defaults = %+v", ext2.Defaults)
+	}
+	counts := db.CountByDir()
+	if counts["fs"] != 2 || counts["."] != 6 {
+		t.Errorf("CountByDir = %v", counts)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"dup":            "config A\n\tbool\nconfig A\n\tbool\n",
+		"orphan attr":    "bool \"x\"\n",
+		"bad depends":    "config A\n\tdepends FUTEX\n",
+		"bad expr":       "config A\n\tdepends on A &&\n",
+		"endif":          "endif\n",
+		"endmenu":        "endmenu\n",
+		"open if":        "if A\nconfig B\n\tbool\n",
+		"open menu":      "menu \"m\"\n",
+		"unknown kw":     "frobnicate A\n",
+		"missing source": "source \"nope/Kconfig\"\n",
+		"empty config":   "config\n",
+	}
+	for name, src := range cases {
+		db := NewDatabase()
+		p := NewParser(db, MapLoader{})
+		if err := p.ParseString("Kconfig", src); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestDatabaseValidate(t *testing.T) {
+	db := parseSample(t)
+	if errs := db.Validate(); len(errs) != 0 {
+		t.Fatalf("Validate = %v, want clean", errs)
+	}
+	// Introduce a dangling reference.
+	db.MustAdd(&Option{Name: "BROKEN", Type: TypeBool, Depends: Symbol("NO_SUCH")})
+	if errs := db.Validate(); len(errs) != 1 {
+		t.Fatalf("Validate = %v, want 1 error", errs)
+	}
+}
+
+func TestSplitIfRespectsQuotes(t *testing.T) {
+	head, cond := splitIf(`"a if b" if C`)
+	if head != `"a if b"` || cond != "C" {
+		t.Errorf("splitIf = %q, %q", head, cond)
+	}
+	head, cond = splitIf("y")
+	if head != "y" || cond != "" {
+		t.Errorf("splitIf = %q, %q", head, cond)
+	}
+}
+
+// Property: the parser never panics on arbitrary junk — it either builds
+// a database or returns an error.
+func TestParserRobustnessProperty(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		db := NewDatabase()
+		NewParser(db, MapLoader{}).ParseString("Kconfig", src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the expression lexer/parser never panics.
+func TestExprParserRobustnessProperty(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		ParseExpr(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,309 @@
+package kconfig
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Request is the user's intended configuration: the symbols explicitly set
+// (everything else defaults or stays n).
+type Request struct {
+	values map[string]Value
+}
+
+// NewRequest returns an empty request.
+func NewRequest() *Request { return &Request{values: make(map[string]Value)} }
+
+// Enable marks a symbol for y in the request.
+func (r *Request) Enable(names ...string) *Request {
+	for _, n := range names {
+		r.values[n] = TriValue(Yes)
+	}
+	return r
+}
+
+// Set records an explicit value for a symbol.
+func (r *Request) Set(name string, v Value) *Request {
+	r.values[name] = v
+	return r
+}
+
+// Names returns the requested symbols, sorted.
+func (r *Request) Names() []string {
+	out := make([]string, 0, len(r.values))
+	for n := range r.values {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RequestFromConfig converts a resolved configuration back into a request,
+// used when deriving one profile from another (e.g. lupine-base from
+// microVM minus removed options).
+func RequestFromConfig(c *Config) *Request {
+	r := NewRequest()
+	for _, n := range c.Names() {
+		r.values[n] = c.Get(n)
+	}
+	return r
+}
+
+// Warning describes a non-fatal inconsistency found during resolution,
+// mirroring the kconfig "unmet direct dependencies" diagnostics.
+type Warning struct {
+	Symbol string
+	Reason string
+}
+
+func (w Warning) String() string { return fmt.Sprintf("%s: %s", w.Symbol, w.Reason) }
+
+// Result is the outcome of resolving a request against a database.
+type Result struct {
+	Config   *Config
+	Warnings []Warning
+}
+
+// maxResolveRounds bounds fixpoint iteration. Select/default chains in the
+// synthetic tree are shallow; real kconfig cycles are declaration errors.
+const maxResolveRounds = 64
+
+// Resolve computes a consistent configuration from the request: user
+// selections apply where their dependencies hold, reverse dependencies
+// (select) force symbols on, and defaults fill the rest. Unknown symbols
+// in the request are an error; unmet dependencies forced by select produce
+// warnings, exactly like the kernel's build system.
+func Resolve(db *Database, req *Request) (*Result, error) {
+	for n := range req.values {
+		if db.Lookup(n) == nil {
+			return nil, fmt.Errorf("kconfig: request sets undeclared symbol %s", n)
+		}
+	}
+
+	cfg := NewConfig()
+	for round := 0; ; round++ {
+		if round >= maxResolveRounds {
+			return nil, fmt.Errorf("kconfig: resolution did not converge after %d rounds (select cycle?)", maxResolveRounds)
+		}
+		next := resolveRound(db, req, cfg)
+		if next.Equal(cfg) {
+			cfg = next
+			break
+		}
+		cfg = next
+	}
+
+	res := &Result{Config: cfg}
+	// Conflicting requests within a choice group: the first member wins,
+	// the rest are reported.
+	for id := 1; id <= db.choices; id++ {
+		var asked []string
+		for _, m := range db.choiceMembers(id) {
+			if uv, ok := req.values[m.Name]; ok && uv.Tri.Bool() {
+				asked = append(asked, m.Name)
+			}
+		}
+		for _, loser := range asked[min(1, len(asked)):] {
+			res.Warnings = append(res.Warnings, Warning{
+				Symbol: loser,
+				Reason: fmt.Sprintf("choice conflict: %s selected instead", asked[0]),
+			})
+		}
+	}
+	forced := selectedSymbols(db, cfg)
+	for _, n := range cfg.Names() {
+		o := db.Lookup(n)
+		if o == nil {
+			continue
+		}
+		if !EvalOrYes(o.Depends, cfg).Bool() {
+			if forced[n] {
+				res.Warnings = append(res.Warnings, Warning{
+					Symbol: n,
+					Reason: fmt.Sprintf("selected despite unmet dependency (%s)", exprString(o.Depends)),
+				})
+			}
+		}
+	}
+	sort.Slice(res.Warnings, func(i, j int) bool { return res.Warnings[i].Symbol < res.Warnings[j].Symbol })
+	return res, nil
+}
+
+// resolveRound computes one fixpoint iteration over the declarations.
+func resolveRound(db *Database, req *Request, prev *Config) *Config {
+	next := NewConfig()
+	forced := selectForce(db, prev)
+	for _, o := range db.Options() {
+		var v Value
+		userSet := false
+		if uv, ok := req.values[o.Name]; ok && o.Visible(prev) {
+			v = uv
+			userSet = true
+		}
+		if f, ok := forced[o.Name]; ok && f > v.Tri && v.Str == "" {
+			v = TriValue(f)
+		}
+		// Defaults fill only values the user left unspecified: an explicit
+		// n in the request suppresses a default y (how .config overrides
+		// defconfig values).
+		if !userSet && v.Tri == No && v.Str == "" {
+			v = defaultValue(o, prev)
+		}
+		// bool options cannot be m: promote.
+		if o.Type == TypeBool && v.Tri == Module {
+			v.Tri = Yes
+		}
+		if v.Tri != No || v.Str != "" {
+			next.Set(o.Name, v)
+		}
+	}
+	enforceChoices(db, req, prev, next)
+	return next
+}
+
+// enforceChoices applies mutual exclusion within each choice group:
+// exactly one member is enabled — the first explicitly requested one, or
+// the group's declared default, or the group's first member.
+func enforceChoices(db *Database, req *Request, prev, next *Config) {
+	for id := 1; id <= db.choices; id++ {
+		members := db.choiceMembers(id)
+		if len(members) == 0 {
+			continue
+		}
+		var winner *Option
+		for _, m := range members {
+			if uv, ok := req.values[m.Name]; ok && uv.Tri.Bool() && m.Visible(prev) {
+				winner = m
+				break
+			}
+		}
+		if winner == nil {
+			name := db.choiceDefault[id]
+			for _, m := range members {
+				if m.Name == name {
+					winner = m
+				}
+			}
+			if winner == nil {
+				winner = members[0]
+			}
+		}
+		for _, m := range members {
+			if m == winner && EvalOrYes(m.Depends, prev).Bool() {
+				next.Set(m.Name, TriValue(Yes))
+			} else {
+				next.Disable(m.Name)
+			}
+		}
+	}
+}
+
+// selectForce computes, for each symbol, the strongest value forced on it
+// by enabled selecters in cfg.
+func selectForce(db *Database, cfg *Config) map[string]Tristate {
+	out := make(map[string]Tristate)
+	for _, o := range db.Options() {
+		src := cfg.Get(o.Name).Tri
+		if src == No {
+			continue
+		}
+		for _, s := range o.Selects {
+			if !EvalOrYes(s.Cond, cfg).Bool() {
+				continue
+			}
+			if src > out[s.Target] {
+				out[s.Target] = src
+			}
+		}
+	}
+	return out
+}
+
+// selectedSymbols reports which enabled symbols are the target of an
+// active select in cfg.
+func selectedSymbols(db *Database, cfg *Config) map[string]bool {
+	out := make(map[string]bool)
+	for t, v := range selectForce(db, cfg) {
+		if v.Bool() {
+			out[t] = true
+		}
+	}
+	return out
+}
+
+// defaultValue picks the first applicable default whose condition and the
+// option's dependencies hold.
+func defaultValue(o *Option, env Env) Value {
+	if !EvalOrYes(o.Depends, env).Bool() {
+		return Value{}
+	}
+	for _, d := range o.Defaults {
+		if EvalOrYes(d.Cond, env).Bool() {
+			return d.Value
+		}
+	}
+	return Value{}
+}
+
+// DependencyClosure returns the requested names plus every symbol that
+// appears (positively) in the dependency chain of a requested option. The
+// synthetic kernel tree uses simple conjunctive dependencies, so enabling
+// all positively referenced symbols yields a satisfying assignment. This
+// is the helper the Lupine specializer uses to auto-enable prerequisites.
+func DependencyClosure(db *Database, names []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var order []string
+	var visit func(string) error
+	visit = func(n string) error {
+		if seen[n] {
+			return nil
+		}
+		o := db.Lookup(n)
+		if o == nil {
+			return fmt.Errorf("kconfig: dependency closure references undeclared symbol %s", n)
+		}
+		seen[n] = true
+		if o.Depends != nil {
+			for _, s := range positiveSymbols(o.Depends) {
+				if err := visit(s); err != nil {
+					return err
+				}
+			}
+		}
+		order = append(order, n)
+		return nil
+	}
+	for _, n := range names {
+		if err := visit(n); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// positiveSymbols extracts symbols that appear outside any negation, i.e.
+// ones that enabling can help satisfy the expression.
+func positiveSymbols(e Expr) []string {
+	var out []string
+	var walk func(Expr, bool)
+	walk = func(e Expr, neg bool) {
+		switch v := e.(type) {
+		case symbolExpr:
+			if !neg && v.name != "y" && v.name != "m" && v.name != "n" {
+				out = append(out, v.name)
+			}
+		case notExpr:
+			walk(v.x, !neg)
+		case andExpr:
+			walk(v.l, neg)
+			walk(v.r, neg)
+		case orExpr:
+			walk(v.l, neg)
+			walk(v.r, neg)
+		case cmpExpr:
+			// comparisons don't contribute enables
+		}
+	}
+	walk(e, false)
+	return out
+}

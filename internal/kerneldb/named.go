@@ -1,0 +1,560 @@
+package kerneldb
+
+import "lupine/internal/simclock"
+
+// namedFiles declares the real, named options of the synthetic tree in the
+// Kconfig DSL, organized by source directory the way Figure 3 counts them.
+// Everything else in the tree is synthetic filler (see gen.go).
+
+type namedFile struct {
+	path string
+	text string
+}
+
+// namedFiles carries per-directory Kconfig fragments; the parser records
+// each option's directory from the fragment path.
+var namedFiles = []namedFile{
+	{"init/Kconfig", `
+config MULTIUSER
+	bool "Multiple users, groups and capabilities support"
+	default y
+
+config SYSCTL
+	bool "Sysctl support"
+
+config MEMBARRIER
+	bool "Enable membarrier() system call"
+
+config SYSVIPC
+	bool "System V IPC"
+	help
+	  Inter Process Communication: semaphores, message queues and shared
+	  memory segments. Required by multi-process applications such as
+	  postgres.
+
+config POSIX_MQUEUE
+	bool "POSIX Message Queues"
+`},
+	{"kernel/Kconfig", `
+config PRINTK
+	bool "Enable support for printk"
+	default y
+
+config HIGH_RES_TIMERS
+	bool "High Resolution Timer Support"
+	default y
+
+config POSIX_TIMERS
+	bool "Posix Clocks & timers"
+	default y
+
+config BASE_FULL
+	bool "Enable full-sized data structures for core"
+	default y
+	help
+	  Disabling this option reduces the size of miscellaneous core kernel
+	  data structures, trading performance for space.
+
+config KALLSYMS
+	bool "Load all symbols for debugging/ksymoops"
+
+config BUG
+	bool "BUG() support"
+	default y
+
+config ELF_CORE
+	bool "Enable ELF core dumps"
+
+config DOUBLEFAULT
+	bool "Enable doublefault exception handler"
+	default y
+
+config ADVISE_SYSCALLS
+	bool "Enable madvise/fadvise syscalls"
+
+config AIO
+	bool "Enable AIO support"
+
+config BPF_SYSCALL
+	bool "Enable bpf() system call"
+
+config EPOLL
+	bool "Enable eventpoll support"
+	help
+	  Applications report "epoll_create1 failed: function not implemented"
+	  when this option is missing.
+
+config EVENTFD
+	bool "Enable eventfd() system call"
+
+config FANOTIFY
+	bool "Filesystem wide access notification"
+
+config FHANDLE
+	bool "open by fhandle syscalls"
+
+config FILE_LOCKING
+	bool "Enable POSIX file locking API"
+
+config FUTEX
+	bool "Enable futex support"
+	help
+	  Fast user-space locking. glibc-based applications report "the futex
+	  facility returned an unexpected error code" when this is missing.
+
+config INOTIFY_USER
+	bool "Inotify support for userspace"
+
+config SIGNALFD
+	bool "Enable signalfd() system call"
+
+config TIMERFD
+	bool "Enable timerfd() system call"
+
+config DEBUG_KERNEL
+	bool "Kernel debugging"
+
+config FTRACE
+	bool "Tracers"
+
+config KPROBES
+	bool "Kprobes"
+
+config MAGIC_SYSRQ
+	bool "Magic SysRq key"
+
+config SMP
+	bool "Symmetric multi-processing support"
+	help
+	  Enables kernel support for multiple processors, at the cost of
+	  locking overhead on uniprocessor deployments.
+
+config CGROUPS
+	bool "Control Group support"
+
+config NAMESPACES
+	bool "Namespaces support"
+
+config PID_NS
+	bool "PID Namespaces"
+	depends on NAMESPACES
+
+config UTS_NS
+	bool "UTS namespace"
+	depends on NAMESPACES
+
+config IPC_NS
+	bool "IPC namespace"
+	depends on NAMESPACES && SYSVIPC
+
+config USER_NS
+	bool "User namespace"
+	depends on NAMESPACES
+
+config MODULES
+	bool "Enable loadable module support"
+
+config KERNEL_MODE_LINUX
+	bool "Kernel Mode Linux"
+	depends on !PARAVIRT
+	help
+	  Out-of-tree KML patch: lets designated user processes execute in
+	  kernel mode, replacing syscall entry with a same-privilege call.
+	  Currently incompatible with CONFIG_PARAVIRT.
+`},
+	{"arch/Kconfig", `
+config X86_64
+	bool "64-bit kernel"
+	default y
+
+config X86_TSC
+	bool "TSC timestamp counter"
+	default y
+
+config PARAVIRT
+	bool "Enable paravirtualization code"
+	help
+	  Skips expensive hardware timer calibration under a cooperating
+	  hypervisor; a primary enabler of fast boot (§4.3).
+
+config HOTPLUG_CPU
+	bool "Support for hot-pluggable CPUs"
+	depends on SMP
+
+config PM
+	bool "Power management support"
+
+config CPU_FREQ
+	bool "CPU Frequency scaling"
+	depends on PM
+
+config CPU_IDLE
+	bool "CPU idle PM support"
+	depends on PM
+
+config PAGE_TABLE_ISOLATION
+	bool "Remove the kernel mapping in user mode"
+	help
+	  KPTI: mitigates Meltdown by unmapping the kernel from user page
+	  tables, at roughly 10x system call latency (§3.1.2).
+`},
+	{"net/Kconfig", `
+config NET
+	bool "Networking support"
+
+config INET
+	bool "TCP/IP networking"
+	depends on NET
+
+config UNIX
+	bool "Unix domain sockets"
+	depends on NET
+	help
+	  Applications report "can't create UNIX socket" when missing.
+
+config IPV6
+	bool "The IPv6 protocol"
+	depends on INET
+
+config PACKET
+	bool "Packet socket"
+	depends on NET
+
+config NET_NS
+	bool "Network namespace"
+	depends on NAMESPACES && NET
+`},
+	{"fs/Kconfig", `
+config EXT2_FS
+	bool "Second extended fs support"
+	depends on BLOCK
+
+config BINFMT_ELF
+	bool "Kernel support for ELF binaries"
+	default y
+
+config BINFMT_SCRIPT
+	bool "Kernel support for scripts starting with #!"
+	default y
+
+config PROC_FS
+	bool "/proc file system support"
+
+config TMPFS
+	bool "Tmpfs virtual memory file system support"
+`},
+	{"crypto/Kconfig", `
+config CRYPTO
+	bool "Cryptographic API"
+
+config CRYPTO_AES
+	bool "AES cipher algorithms"
+	depends on CRYPTO
+
+config CRYPTO_SHA256
+	bool "SHA224 and SHA256 digest algorithm"
+	depends on CRYPTO
+
+config CRYPTO_SHA512
+	bool "SHA384 and SHA512 digest algorithms"
+	depends on CRYPTO
+
+config CRYPTO_DES
+	bool "DES and Triple DES EDE cipher algorithms"
+	depends on CRYPTO
+`},
+	{"lib/Kconfig", `
+config ZLIB_INFLATE
+	bool "zlib decompression"
+
+config ZLIB_DEFLATE
+	bool "zlib compression"
+
+config LZ4_COMPRESS
+	bool "LZ4 compression"
+
+config XZ_DEC
+	bool "XZ decompression support"
+
+config DYNAMIC_DEBUG
+	bool "Enable dynamic printk() support"
+`},
+	{"mm/Kconfig", `
+config MMU
+	bool "MMU-based paged memory management"
+	default y
+
+choice
+	prompt "Choose SLAB allocator"
+	default SLUB
+
+config SLAB
+	bool "SLAB"
+
+config SLUB
+	bool "SLUB (Unqueued Allocator)"
+
+config SLOB
+	bool "SLOB (Simple Allocator; embedded systems)"
+
+endchoice
+
+config SLUB_DEBUG
+	bool "Enable SLUB debugging support"
+	default y
+
+config VM_EVENT_COUNTERS
+	bool "Enable VM event counters for /proc/vmstat"
+	default y
+
+config KSM
+	bool "Enable KSM for page merging"
+
+config NUMA
+	bool "Non Uniform Memory Access (NUMA) Support"
+	depends on SMP
+
+config MEMORY_HOTPLUG
+	bool "Allow for memory hot-add"
+	depends on SMP
+`},
+	{"security/Kconfig", `
+config SECCOMP
+	bool "Enable seccomp to safely compute untrusted bytecode"
+
+config SECCOMP_FILTER
+	bool "Enable seccomp filter"
+	depends on SECCOMP && NET
+
+config SECURITY
+	bool "Enable different security models"
+
+config AUDIT
+	bool "Auditing support"
+
+config SECURITY_SELINUX
+	bool "NSA SELinux Support"
+	depends on SECURITY && AUDIT && NET
+
+config HARDENED_USERCOPY
+	bool "Harden memory copies between kernel and userspace"
+
+config RETPOLINE
+	bool "Avoid speculative indirect branches in kernel"
+
+config RANDOMIZE_BASE
+	bool "Randomize the address of the kernel image (KASLR)"
+
+config STACKPROTECTOR_STRONG
+	bool "Strong Stack Protector"
+
+config STRICT_KERNEL_RWX
+	bool "Make kernel text and rodata read-only"
+
+config SLAB_FREELIST_RANDOM
+	bool "Randomize slab freelist"
+
+config KEYS
+	bool "Enable access key retention support"
+`},
+	{"block/Kconfig", `
+config BLOCK
+	bool "Enable the block layer"
+	default y
+
+config BLK_DEV_BSG
+	bool "Block layer SG support v4"
+	default y
+`},
+	{"drivers/Kconfig", `
+config VIRTIO
+	bool "Virtio drivers core"
+
+config VIRTIO_MMIO
+	bool "Platform bus driver for memory mapped virtio devices"
+	depends on VIRTIO
+
+config VIRTIO_NET
+	bool "Virtio network driver"
+	depends on VIRTIO && NET
+
+config VIRTIO_BLK
+	bool "Virtio block driver"
+	depends on VIRTIO && BLOCK
+
+config SERIAL_8250
+	bool "8250/16550 and compatible serial support"
+
+config THERMAL
+	bool "Generic Thermal sysfs driver"
+
+config WATCHDOG
+	bool "Watchdog Timer Support"
+
+config PCI
+	bool "PCI support"
+	help
+	  PCI bus enumeration; eliminated by Firecracker-style monitors to
+	  reduce boot time.
+
+config USB
+	bool "USB support"
+	depends on PCI
+
+config DRM
+	bool "Direct Rendering Manager"
+	depends on PCI
+`},
+	{"virt/Kconfig", `
+config KVM_GUEST
+	bool "KVM Guest support"
+	default y
+`},
+	{"sound/Kconfig", `
+config SOUND
+	bool "Sound card support"
+	depends on PCI
+`},
+}
+
+func us(n int64) simclock.Duration { return simclock.Duration(n) * simclock.Microsecond }
+
+// namedInfo annotates every named option. Sizes are bytes of kernel image;
+// boot costs are per-option initialization time. Pool options (the 19 of
+// lupine-general) have individually calibrated values so Table 3/Figures
+// 5-7 come out with the paper's shape.
+var namedInfo = map[string]Info{
+	// init/
+	"MULTIUSER":    {Class: ClassBase, Size: 4000, Boot: us(10)},
+	"SYSCTL":       {Class: ClassAppOther, Size: 45000, Boot: us(40), Syscalls: []string{"sysctl"}},
+	"MEMBARRIER":   {Class: ClassAppOther, Size: 3000, Boot: us(5), Syscalls: []string{"membarrier"}},
+	"SYSVIPC":      {Class: ClassMultiProc, Size: 85000, Boot: us(90), Syscalls: []string{"shmget", "shmat", "shmctl", "semget", "semop", "semctl", "msgget", "msgsnd", "msgrcv", "msgctl"}},
+	"POSIX_MQUEUE": {Class: ClassMultiProc, Size: 35000, Boot: us(40), Syscalls: []string{"mq_open", "mq_unlink", "mq_timedsend", "mq_timedreceive", "mq_notify", "mq_getsetattr"}},
+
+	// kernel/ base
+	"PRINTK":          {Class: ClassBase, Size: 10000, Boot: us(20)},
+	"HIGH_RES_TIMERS": {Class: ClassBase, Size: 6000, Boot: us(15)},
+	"POSIX_TIMERS":    {Class: ClassBase, Size: 7000, Boot: us(10), Syscalls: []string{"timer_create", "timer_settime", "timer_gettime", "timer_delete", "clock_gettime", "clock_nanosleep"}},
+	"BASE_FULL":       {Class: ClassBase, Size: 15000, Boot: us(5)},
+	"KALLSYMS":        {Class: ClassBase, Size: 12000, Boot: us(10)},
+	"BUG":             {Class: ClassBase, Size: 4000, Boot: us(2)},
+	"ELF_CORE":        {Class: ClassBase, Size: 6000, Boot: us(2)},
+	"DOUBLEFAULT":     {Class: ClassBase, Size: 2000, Boot: us(2)},
+
+	// kernel/ Table 1 syscall options (§3.1.1)
+	"ADVISE_SYSCALLS": {Class: ClassAppSyscall, Size: 4000, Boot: us(5), Syscalls: []string{"madvise", "fadvise64"}},
+	"AIO":             {Class: ClassAppSyscall, Size: 14000, Boot: us(20), Syscalls: []string{"io_setup", "io_destroy", "io_submit", "io_cancel", "io_getevents"}},
+	"BPF_SYSCALL":     {Class: ClassAppSyscall, Size: 35000, Boot: us(30), Syscalls: []string{"bpf"}},
+	"EPOLL":           {Class: ClassAppSyscall, Size: 11000, Boot: us(10), Syscalls: []string{"epoll_ctl", "epoll_create", "epoll_wait", "epoll_pwait"}},
+	"EVENTFD":         {Class: ClassAppSyscall, Size: 5000, Boot: us(5), Syscalls: []string{"eventfd", "eventfd2"}},
+	"FANOTIFY":        {Class: ClassAppSyscall, Size: 9000, Boot: us(10), Syscalls: []string{"fanotify_init", "fanotify_mark"}},
+	"FHANDLE":         {Class: ClassAppSyscall, Size: 4000, Boot: us(5), Syscalls: []string{"open_by_handle_at", "name_to_handle_at"}},
+	"FILE_LOCKING":    {Class: ClassAppSyscall, Size: 10000, Boot: us(10), Syscalls: []string{"flock"}},
+	"FUTEX":           {Class: ClassAppSyscall, Size: 9000, Boot: us(15), Syscalls: []string{"futex", "set_robust_list", "get_robust_list"}},
+	"INOTIFY_USER":    {Class: ClassAppSyscall, Size: 12000, Boot: us(10), Syscalls: []string{"inotify_init", "inotify_add_watch", "inotify_rm_watch"}},
+	"SIGNALFD":        {Class: ClassAppSyscall, Size: 5000, Boot: us(5), Syscalls: []string{"signalfd", "signalfd4"}},
+	"TIMERFD":         {Class: ClassAppSyscall, Size: 6000, Boot: us(5), Syscalls: []string{"timerfd_create", "timerfd_gettime", "timerfd_settime"}},
+
+	// kernel/ debug
+	"DEBUG_KERNEL": {Class: ClassAppDebug, Size: 10000, Boot: us(10)},
+	"FTRACE":       {Class: ClassAppDebug, Size: 150000, Boot: us(300)},
+	"KPROBES":      {Class: ClassAppDebug, Size: 60000, Boot: us(120)},
+	"MAGIC_SYSRQ":  {Class: ClassAppDebug, Size: 8000, Boot: us(10)},
+
+	// kernel/ multi-process
+	"SMP":               {Class: ClassMultiProc, Size: 120000, Boot: us(800)},
+	"CGROUPS":           {Class: ClassMultiProc, Size: 80000, Boot: us(200)},
+	"NAMESPACES":        {Class: ClassMultiProc, Size: 25000, Boot: us(60)},
+	"PID_NS":            {Class: ClassMultiProc, Size: 12000, Boot: us(30)},
+	"UTS_NS":            {Class: ClassMultiProc, Size: 8000, Boot: us(20)},
+	"IPC_NS":            {Class: ClassMultiProc, Size: 10000, Boot: us(25)},
+	"USER_NS":           {Class: ClassMultiProc, Size: 18000, Boot: us(40)},
+	"MODULES":           {Class: ClassMultiProc, Size: 30000, Boot: us(50)},
+	"KERNEL_MODE_LINUX": {Class: ClassUnselected, Size: 25000, Boot: us(30)},
+
+	// arch/
+	"X86_64":               {Class: ClassBase, Size: 5000, Boot: us(20)},
+	"X86_TSC":              {Class: ClassBase, Size: 2000, Boot: us(10)},
+	"PARAVIRT":             {Class: ClassBase, Size: 15000, Boot: us(10)},
+	"HOTPLUG_CPU":          {Class: ClassMultiProc, Size: 20000, Boot: us(100)},
+	"PM":                   {Class: ClassHardware, Size: 20000, Boot: us(150)},
+	"CPU_FREQ":             {Class: ClassHardware, Size: 30000, Boot: us(250)},
+	"CPU_IDLE":             {Class: ClassHardware, Size: 15000, Boot: us(120)},
+	"PAGE_TABLE_ISOLATION": {Class: ClassUnselected, Size: 12000, Boot: us(20)},
+
+	// net/
+	"NET":    {Class: ClassBase, Size: 70000, Boot: us(300), Syscalls: []string{"socket", "bind", "listen", "accept", "connect", "sendto", "recvfrom", "setsockopt", "getsockopt", "shutdown"}},
+	"INET":   {Class: ClassBase, Size: 55000, Boot: us(250)},
+	"UNIX":   {Class: ClassAppNetwork, Size: 95000, Boot: us(80)},
+	"IPV6":   {Class: ClassAppNetwork, Size: 360000, Boot: us(400)},
+	"PACKET": {Class: ClassAppNetwork, Size: 55000, Boot: us(60)},
+	"NET_NS": {Class: ClassMultiProc, Size: 20000, Boot: us(50)},
+
+	// fs/
+	"EXT2_FS":       {Class: ClassBase, Size: 30000, Boot: us(80)},
+	"BINFMT_ELF":    {Class: ClassBase, Size: 8000, Boot: us(10)},
+	"BINFMT_SCRIPT": {Class: ClassBase, Size: 2000, Boot: us(5)},
+	"PROC_FS":       {Class: ClassAppFilesystem, Size: 190000, Boot: us(150)},
+	"TMPFS":         {Class: ClassAppFilesystem, Size: 130000, Boot: us(100)},
+
+	// crypto/
+	"CRYPTO":        {Class: ClassBase, Size: 12000, Boot: us(30)},
+	"CRYPTO_AES":    {Class: ClassAppCrypto, Size: 30000, Boot: us(40)},
+	"CRYPTO_SHA256": {Class: ClassAppCrypto, Size: 15000, Boot: us(30)},
+	"CRYPTO_SHA512": {Class: ClassAppCrypto, Size: 18000, Boot: us(30)},
+	"CRYPTO_DES":    {Class: ClassAppCrypto, Size: 12000, Boot: us(25)},
+
+	// lib/
+	"ZLIB_INFLATE":  {Class: ClassAppCompression, Size: 12000, Boot: us(10)},
+	"ZLIB_DEFLATE":  {Class: ClassAppCompression, Size: 15000, Boot: us(10)},
+	"LZ4_COMPRESS":  {Class: ClassAppCompression, Size: 10000, Boot: us(10)},
+	"XZ_DEC":        {Class: ClassAppCompression, Size: 20000, Boot: us(15)},
+	"DYNAMIC_DEBUG": {Class: ClassAppDebug, Size: 25000, Boot: us(40)},
+
+	// mm/ — the allocator is a real Kconfig choice group: exactly one of
+	// SLAB/SLUB/SLOB is built, with SLUB the default (as in Linux 4.0).
+	"MMU":               {Class: ClassBase, Size: 9000, Boot: us(60)},
+	"SLAB":              {Class: ClassUnselected, Size: 16000, Boot: us(90)},
+	"SLUB":              {Class: ClassBase, Size: 14000, Boot: us(80)},
+	"SLOB":              {Class: ClassUnselected, Size: 6000, Boot: us(40)},
+	"SLUB_DEBUG":        {Class: ClassBase, Size: 5000, Boot: us(10)},
+	"VM_EVENT_COUNTERS": {Class: ClassBase, Size: 3000, Boot: us(5)},
+	"KSM":               {Class: ClassAppOther, Size: 25000, Boot: us(60)},
+	"NUMA":              {Class: ClassMultiProc, Size: 60000, Boot: us(300)},
+	"MEMORY_HOTPLUG":    {Class: ClassHardware, Size: 25000, Boot: us(80)},
+
+	// security/ — the 12 single-security-domain options removed for
+	// unikernels (§3.1.2); the guest charges their runtime overheads.
+	"SECCOMP":               {Class: ClassMultiProc, Size: 12000, Boot: us(20), Syscalls: []string{"seccomp"}},
+	"SECCOMP_FILTER":        {Class: ClassMultiProc, Size: 15000, Boot: us(20)},
+	"SECURITY":              {Class: ClassMultiProc, Size: 10000, Boot: us(30)},
+	"AUDIT":                 {Class: ClassMultiProc, Size: 40000, Boot: us(100)},
+	"SECURITY_SELINUX":      {Class: ClassMultiProc, Size: 180000, Boot: us(500)},
+	"HARDENED_USERCOPY":     {Class: ClassMultiProc, Size: 5000, Boot: us(5)},
+	"RETPOLINE":             {Class: ClassMultiProc, Size: 8000, Boot: us(5)},
+	"RANDOMIZE_BASE":        {Class: ClassMultiProc, Size: 10000, Boot: us(200)},
+	"STACKPROTECTOR_STRONG": {Class: ClassMultiProc, Size: 20000, Boot: us(5)},
+	"STRICT_KERNEL_RWX":     {Class: ClassMultiProc, Size: 6000, Boot: us(150)},
+	"SLAB_FREELIST_RANDOM":  {Class: ClassMultiProc, Size: 3000, Boot: us(10)},
+	"KEYS":                  {Class: ClassMultiProc, Size: 70000, Boot: us(50), Syscalls: []string{"add_key", "request_key", "keyctl"}},
+
+	// block/
+	"BLOCK":       {Class: ClassBase, Size: 18000, Boot: us(80)},
+	"BLK_DEV_BSG": {Class: ClassBase, Size: 3000, Boot: us(10)},
+
+	// drivers/
+	"VIRTIO":      {Class: ClassBase, Size: 10000, Boot: us(50)},
+	"VIRTIO_MMIO": {Class: ClassBase, Size: 5000, Boot: us(120)},
+	"VIRTIO_NET":  {Class: ClassBase, Size: 15000, Boot: us(200)},
+	"VIRTIO_BLK":  {Class: ClassBase, Size: 10000, Boot: us(150)},
+	"SERIAL_8250": {Class: ClassBase, Size: 8000, Boot: us(100)},
+	"THERMAL":     {Class: ClassHardware, Size: 25000, Boot: us(200)},
+	"WATCHDOG":    {Class: ClassHardware, Size: 15000, Boot: us(100)},
+	"PCI":         {Class: ClassUnselected, Size: 150000, Boot: us(5000)},
+	"USB":         {Class: ClassUnselected, Size: 400000, Boot: us(3000)},
+	"DRM":         {Class: ClassUnselected, Size: 2000000, Boot: us(4000)},
+
+	// virt/, sound/
+	"KVM_GUEST": {Class: ClassBase, Size: 6000, Boot: us(40)},
+	"SOUND":     {Class: ClassUnselected, Size: 800000, Boot: us(2000)},
+}

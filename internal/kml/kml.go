@@ -1,0 +1,59 @@
+// Package kml models the Kernel Mode Linux patch pipeline of §3.2: the
+// kernel side is the CONFIG_KERNEL_MODE_LINUX option in the option tree
+// (internal/kerneldb) and its entry-cost consequences (internal/guest);
+// this package implements the userspace side — patching musl libc so
+// every `syscall` instruction becomes a same-privilege `call` through the
+// address exported by the kernel's vsyscall page.
+package kml
+
+import "bytes"
+
+// x86-64 opcode sequences. A real libc contains many `syscall` (0F 05)
+// instructions; the KML patch rewrites each call site into a near call
+// (E8 rel32) to the kernel entry exported via vsyscall. The simulated
+// libc blobs built by internal/rootfs embed the real two-byte syscall
+// opcode so this transformation operates on genuine instruction bytes.
+var (
+	syscallOpcode = []byte{0x0f, 0x05}
+	// callReplacement is `call rel32` with a placeholder displacement
+	// resolved at load time from the vsyscall page; the trailing nop
+	// keeps the instruction stream the same length as the 2-byte
+	// syscall plus the 4-byte displacement the patcher makes room for.
+	callReplacement = []byte{0xe8, 0x4b, 0x4d, 0x4c, 0x90}
+)
+
+// PatchLibc rewrites every syscall instruction in a libc image into a
+// same-privilege call, returning the patched copy and the number of call
+// sites rewritten. The input is not modified.
+func PatchLibc(libc []byte) ([]byte, int) {
+	var out bytes.Buffer
+	out.Grow(len(libc) + len(libc)/16)
+	sites := 0
+	for i := 0; i < len(libc); {
+		if i+1 < len(libc) && libc[i] == syscallOpcode[0] && libc[i+1] == syscallOpcode[1] {
+			out.Write(callReplacement)
+			sites++
+			i += 2
+			continue
+		}
+		out.WriteByte(libc[i])
+		i++
+	}
+	return out.Bytes(), sites
+}
+
+// IsPatched reports whether a libc image has already been through the KML
+// patcher (no raw syscall instructions remain but call thunks do).
+func IsPatched(libc []byte) bool {
+	return !bytes.Contains(libc, syscallOpcode) && bytes.Contains(libc, callReplacement)
+}
+
+// CallSites counts remaining raw syscall instructions in an image.
+func CallSites(libc []byte) int {
+	return bytes.Count(libc, syscallOpcode)
+}
+
+// TrustedAll reports the Lupine KML policy: the stock patch only elevates
+// binaries under /trusted, but Lupine modifies it so *all* processes (of
+// which there should be one) run in kernel mode (§3.2).
+func TrustedAll() bool { return true }

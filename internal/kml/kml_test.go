@@ -1,0 +1,61 @@
+package kml
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPatchLibc(t *testing.T) {
+	libc := []byte{0x55, 0x48, 0x0f, 0x05, 0xc3, 0x0f, 0x05, 0x90}
+	patched, sites := PatchLibc(libc)
+	if sites != 2 {
+		t.Fatalf("sites = %d, want 2", sites)
+	}
+	if CallSites(patched) != 0 {
+		t.Errorf("raw syscall instructions remain: %x", patched)
+	}
+	if !IsPatched(patched) {
+		t.Error("IsPatched = false on patched image")
+	}
+	if IsPatched(libc) {
+		t.Error("IsPatched = true on unpatched image")
+	}
+	// Non-opcode bytes are preserved in order.
+	if patched[0] != 0x55 || patched[1] != 0x48 {
+		t.Errorf("prefix bytes corrupted: %x", patched[:2])
+	}
+	if patched[len(patched)-1] != 0x90 {
+		t.Errorf("suffix byte corrupted: %x", patched)
+	}
+}
+
+func TestPatchLibcNoSites(t *testing.T) {
+	libc := []byte{1, 2, 3, 4}
+	patched, sites := PatchLibc(libc)
+	if sites != 0 || !bytes.Equal(patched, libc) {
+		t.Errorf("patch of clean image changed it: %x, %d", patched, sites)
+	}
+}
+
+// Property: patching is idempotent in effect — a patched image has zero
+// remaining syscall sites, and re-patching changes nothing.
+func TestPatchIdempotentProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		p1, _ := PatchLibc(data)
+		if CallSites(p1) != 0 {
+			return false
+		}
+		p2, n := PatchLibc(p1)
+		return n == 0 && bytes.Equal(p1, p2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrustedAll(t *testing.T) {
+	if !TrustedAll() {
+		t.Error("Lupine's KML policy must elevate all processes (§3.2)")
+	}
+}

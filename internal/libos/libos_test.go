@@ -1,0 +1,146 @@
+package libos
+
+import (
+	"strings"
+	"testing"
+
+	"lupine/internal/simclock"
+)
+
+func TestOSvVariants(t *testing.T) {
+	zfs, err := OSv("zfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rofs, err := OSv("rofs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OSv("btrfs"); err == nil {
+		t.Error("unknown OSv fs accepted")
+	}
+	bz, _ := zfs.BootTime("hello-world")
+	br, _ := rofs.BootTime("hello-world")
+	// §4.3: switching zfs -> rofs gave a 10x boot improvement.
+	ratio := bz.Seconds() / br.Seconds()
+	if ratio < 6 || ratio > 12 {
+		t.Errorf("zfs/rofs boot ratio = %.1f, want ~10", ratio)
+	}
+}
+
+func TestCuratedLists(t *testing.T) {
+	herm := HermiTux()
+	if herm.Supports("nginx") {
+		t.Error("HermiTux runs nginx; the paper says it cannot (§4.4)")
+	}
+	if !herm.Supports("redis") || !herm.Supports("hello-world") {
+		t.Error("HermiTux curated list missing redis/hello")
+	}
+	for _, s := range All() {
+		for _, app := range []string{"postgres", "elasticsearch", "golang"} {
+			if s.Supports(app) {
+				t.Errorf("%s claims to support %s; curated lists are tiny", s.Name, app)
+			}
+			if _, err := s.ImageSize(app); err == nil {
+				t.Errorf("%s built %s", s.Name, app)
+			}
+		}
+	}
+}
+
+func TestImageSizeOrdering(t *testing.T) {
+	// Figure 6: hermitux < osv < rump (static linking).
+	herm, _ := HermiTux().ImageSize("hello-world")
+	zfs, _ := OSv("zfs")
+	osv, _ := zfs.ImageSize("hello-world")
+	rump, _ := Rump().ImageSize("hello-world")
+	if !(herm < osv && osv < rump) {
+		t.Errorf("image ordering wrong: hermitux=%d osv=%d rump=%d", herm, osv, rump)
+	}
+}
+
+func TestSyscallQuirks(t *testing.T) {
+	zfs, _ := OSv("zfs")
+	// OSv: hardcoded getppid, unsupported /dev/zero read, expensive write.
+	if d, ok := zfs.SyscallLatency("null"); !ok || d > 5*simclock.Nanosecond {
+		t.Errorf("OSv null = %v, %v", d, ok)
+	}
+	if _, ok := zfs.SyscallLatency("read"); ok {
+		t.Error("OSv read of /dev/zero should be unsupported")
+	}
+	if d, _ := zfs.SyscallLatency("write"); d < 70*simclock.Nanosecond {
+		t.Errorf("OSv write = %v, should be nearly microVM-priced", d)
+	}
+	// HermiTux read/write are the off-scale bars of Figure 9.
+	herm := HermiTux()
+	if d, _ := herm.SyscallLatency("read"); d != 190*simclock.Nanosecond {
+		t.Errorf("HermiTux read = %v", d)
+	}
+}
+
+func TestForkAlwaysFails(t *testing.T) {
+	for _, s := range All() {
+		err := s.Fork()
+		if err == nil {
+			t.Errorf("%s fork succeeded; unikernels crash on fork (§5)", s.Name)
+		}
+		if !strings.Contains(err.Error(), s.Name) {
+			t.Errorf("fork error does not identify system: %v", err)
+		}
+	}
+}
+
+func TestBenchmarkRatios(t *testing.T) {
+	// Normalize to the microVM throughputs measured by the guest
+	// simulator (see EXPERIMENTS.md); assert Table 4's comparator column
+	// shape within 10%.
+	microVM := map[string]float64{
+		"redis-get":  118684,
+		"redis-set":  117210,
+		"nginx-conn": 32799,
+		"nginx-sess": 82246,
+	}
+	want := map[string]map[string]float64{
+		"hermitux": {"redis-get": 0.66, "redis-set": 0.67},
+		"osv-zfs":  {"redis-get": 0.87, "redis-set": 0.53},
+		"rump":     {"redis-get": 0.99, "redis-set": 0.99, "nginx-conn": 1.25, "nginx-sess": 0.53},
+	}
+	for _, s := range All() {
+		for wl, target := range want[s.Name] {
+			tput, err := s.Benchmark(wl, 3000)
+			if err != nil {
+				t.Errorf("%s %s: %v", s.Name, wl, err)
+				continue
+			}
+			ratio := tput / microVM[wl]
+			if ratio < target*0.90 || ratio > target*1.10 {
+				t.Errorf("%s %s ratio = %.2f, want ~%.2f", s.Name, wl, ratio, target)
+			}
+		}
+	}
+	// Workloads outside the curated/benchmarkable set fail loudly.
+	if _, err := HermiTux().Benchmark("nginx-conn", 100); err == nil {
+		t.Error("HermiTux benchmarked nginx")
+	}
+	zfs, _ := OSv("zfs")
+	if _, err := zfs.Benchmark("nginx-sess", 100); err == nil {
+		t.Error("OSv benchmarked nginx despite Table 4's blank cells")
+	}
+}
+
+func TestFootprints(t *testing.T) {
+	// Figure 8: unikernel redis footprints all exceed Lupine's ~21 MiB.
+	for _, s := range All() {
+		fp, err := s.MemoryFootprint("redis")
+		if err != nil {
+			t.Errorf("%s redis footprint: %v", s.Name, err)
+			continue
+		}
+		if fp <= 21*MiB {
+			t.Errorf("%s redis footprint %d MiB not above Lupine's", s.Name, fp/MiB)
+		}
+	}
+	if _, err := HermiTux().MemoryFootprint("nginx"); err == nil {
+		t.Error("HermiTux reported an nginx footprint")
+	}
+}

@@ -1,0 +1,90 @@
+package manifest
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNormalizesOptions(t *testing.T) {
+	m := New("redis", []string{"/bin/redis-server"}, "FUTEX", "EPOLL", "FUTEX")
+	if len(m.Options) != 2 || m.Options[0] != "EPOLL" || m.Options[1] != "FUTEX" {
+		t.Fatalf("Options = %v", m.Options)
+	}
+	m.AddOptions("AIO", "EPOLL")
+	if len(m.Options) != 3 || m.Options[0] != "AIO" {
+		t.Fatalf("Options after add = %v", m.Options)
+	}
+	if !m.HasOption("FUTEX") || m.HasOption("SMP") {
+		t.Error("HasOption wrong")
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	m := New("nginx", []string{"/bin/nginx", "-g", "daemon off;"},
+		"EPOLL", "AIO", "EVENTFD")
+	m.Env["NGINX_PORT"] = "80"
+	m.NetworkPort = 80
+	data, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.App != m.App || back.NetworkPort != 80 || back.Env["NGINX_PORT"] != "80" {
+		t.Errorf("round trip = %+v", back)
+	}
+	if strings.Join(back.Options, ",") != strings.Join(m.Options, ",") {
+		t.Errorf("options = %v vs %v", back.Options, m.Options)
+	}
+	if strings.Join(back.Entrypoint, " ") != strings.Join(m.Entrypoint, " ") {
+		t.Errorf("entrypoint = %v", back.Entrypoint)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&Manifest{}).Validate(); err == nil {
+		t.Error("empty manifest validated")
+	}
+	if err := (&Manifest{App: "x"}).Validate(); err == nil {
+		t.Error("no-entrypoint manifest validated")
+	}
+	bad := &Manifest{App: "x", Entrypoint: []string{"/bin/x"}, Options: []string{"B", "A"}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unsorted options validated")
+	}
+	dup := &Manifest{App: "x", Entrypoint: []string{"/bin/x"}, Options: []string{"A", "A"}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate options validated")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte("{")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := Parse([]byte(`{"app":""}`)); err == nil {
+		t.Error("invalid manifest accepted")
+	}
+}
+
+// Property: AddOptions keeps the option list sorted and duplicate-free
+// for arbitrary inputs.
+func TestAddOptionsProperty(t *testing.T) {
+	f := func(batches [][]byte) bool {
+		m := New("app", []string{"/bin/app"})
+		for _, b := range batches {
+			var opts []string
+			for _, c := range b {
+				opts = append(opts, string('A'+c%20))
+			}
+			m.AddOptions(opts...)
+		}
+		return m.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

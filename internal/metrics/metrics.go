@@ -1,0 +1,171 @@
+// Package metrics provides the result containers and text rendering the
+// benchmark harness uses to print paper-shaped tables and figure series.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid with a header row.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, stringifying the cells.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = trimFloat(v)
+		case fmt.Stringer:
+			row[i] = v.String()
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".")
+}
+
+// Render draws the table with aligned columns.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "=== %s ===\n", t.Title)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// String implements fmt.Stringer.
+func (t *Table) String() string { return t.Render() }
+
+// Series is one line of a figure: (x, y) points with a name.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Figure is a set of series with axis labels, rendered as aligned columns
+// (the harness prints data, not pictures).
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+	Notes  []string
+}
+
+// NewSeries registers and returns a new series.
+func (f *Figure) NewSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Render prints the figure as a table of x versus each series' y.
+func (f *Figure) Render() string {
+	t := &Table{Title: f.Title, Notes: f.Notes}
+	t.Columns = append(t.Columns, f.XLabel)
+	for _, s := range f.Series {
+		t.Columns = append(t.Columns, s.Name+" ("+f.YLabel+")")
+	}
+	// Collect x values from the longest series.
+	var xs []float64
+	for _, s := range f.Series {
+		if len(s.X) > len(xs) {
+			xs = s.X
+		}
+	}
+	for i, x := range xs {
+		cells := []interface{}{trimFloat(x)}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				cells = append(cells, s.Y[i])
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return t.Render()
+}
+
+// String implements fmt.Stringer.
+func (f *Figure) String() string { return f.Render() }
+
+// CSV renders the table as comma-separated values for external plotting.
+// Cells containing commas or quotes are quoted per RFC 4180.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				sb.WriteByte('"')
+				sb.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				sb.WriteByte('"')
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "Demo",
+		Columns: []string{"system", "value"},
+	}
+	tbl.AddRow("microvm", 14.85)
+	tbl.AddRow("lupine", 4.0)
+	tbl.AddRow("exact", 3)
+	tbl.Notes = append(tbl.Notes, "a note")
+	out := tbl.Render()
+	for _, want := range []string{"=== Demo ===", "system", "microvm", "14.85", "lupine", "4", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if tbl.String() != out {
+		t.Error("String != Render")
+	}
+	// Column alignment: all data rows have the separator width or more.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("no separator line: %q", lines[2])
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.0:    "1",
+		1.5:    "1.5",
+		1.25:   "1.25",
+		0.125:  "0.125",
+		0.1256: "0.126",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := &Figure{Title: "Growth", XLabel: "apps", YLabel: "options"}
+	s := f.NewSeries("union")
+	s.Add(1, 13)
+	s.Add(2, 14)
+	short := f.NewSeries("short")
+	short.Add(1, 5)
+	out := f.Render()
+	for _, want := range []string{"Growth", "apps", "union (options)", "13", "14", "short (options)", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure render missing %q:\n%s", want, out)
+		}
+	}
+	if f.String() != out {
+		t.Error("String != Render")
+	}
+}
+
+func TestAddRowStringer(t *testing.T) {
+	tbl := &Table{Columns: []string{"a"}}
+	tbl.AddRow(stubStringer{})
+	if tbl.Rows[0][0] != "stub" {
+		t.Errorf("stringer cell = %q", tbl.Rows[0][0])
+	}
+}
+
+type stubStringer struct{}
+
+func (stubStringer) String() string { return "stub" }
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Columns: []string{"name", "value"}}
+	tbl.AddRow("plain", 1.5)
+	tbl.AddRow("with,comma", `say "hi"`)
+	got := tbl.CSV()
+	want := "name,value\nplain,1.5\n\"with,comma\",\"say \"\"hi\"\"\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,100 @@
+// Package simclock provides the virtual time base used by every simulated
+// component in this repository. All latencies, boot times and throughput
+// figures are measured in virtual nanoseconds so that experiments are
+// deterministic and independent of the host machine.
+package simclock
+
+import (
+	"fmt"
+	"time"
+)
+
+// Duration is a span of virtual time in nanoseconds. It deliberately mirrors
+// time.Duration so that formatting helpers can be reused, but it is a
+// distinct type: mixing virtual and wall-clock time is a bug.
+type Duration int64
+
+// Common virtual durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Std converts a virtual duration to a time.Duration for formatting.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// String formats the duration using the standard library rules.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// Microseconds reports the duration as a float number of microseconds,
+// the unit most of the paper's latency figures use.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Milliseconds reports the duration as a float number of milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Seconds reports the duration as a float number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Time is an instant in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between two instants.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// String formats the instant as an offset from simulation start.
+func (t Time) String() string { return fmt.Sprintf("T+%s", time.Duration(t)) }
+
+// Clock is a simple monotonically advancing virtual clock. It is not safe
+// for concurrent use; the guest kernel serializes access through its
+// scheduler, which is the only writer.
+type Clock struct {
+	now Time
+}
+
+// New returns a clock positioned at virtual time zero.
+func New() *Clock { return &Clock{} }
+
+// Now reports the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d. Negative advances panic: virtual
+// time never flows backwards, and a negative cost is always a bug in a
+// cost model.
+func (c *Clock) Advance(d Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: negative advance %d", d))
+	}
+	c.now = c.now.Add(d)
+}
+
+// AdvanceTo moves the clock forward to instant t. Moving backwards panics.
+func (c *Clock) AdvanceTo(t Time) {
+	if t < c.now {
+		panic(fmt.Sprintf("simclock: AdvanceTo moving backwards: %v -> %v", c.now, t))
+	}
+	c.now = t
+}
+
+// Stopwatch measures elapsed virtual time on a clock.
+type Stopwatch struct {
+	clock *Clock
+	start Time
+}
+
+// NewStopwatch starts a stopwatch on c.
+func NewStopwatch(c *Clock) *Stopwatch { return &Stopwatch{clock: c, start: c.Now()} }
+
+// Restart resets the stopwatch origin to the current instant.
+func (s *Stopwatch) Restart() { s.start = s.clock.Now() }
+
+// Elapsed reports virtual time since the stopwatch (re)started.
+func (s *Stopwatch) Elapsed() Duration { return s.clock.Now().Sub(s.start) }

@@ -1,0 +1,136 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := New()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("new clock at %v, want 0", got)
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := New()
+	c.Advance(5 * Microsecond)
+	c.Advance(20 * Nanosecond)
+	if got, want := c.Now(), Time(5020); got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative advance")
+		}
+	}()
+	New().Advance(-1)
+}
+
+func TestAdvanceToBackwardsPanics(t *testing.T) {
+	c := New()
+	c.Advance(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on backwards AdvanceTo")
+		}
+	}()
+	c.AdvanceTo(5)
+}
+
+func TestAdvanceTo(t *testing.T) {
+	c := New()
+	c.AdvanceTo(42)
+	if c.Now() != 42 {
+		t.Fatalf("Now() = %v, want 42", c.Now())
+	}
+	c.AdvanceTo(42) // same instant is allowed
+	if c.Now() != 42 {
+		t.Fatalf("Now() = %v, want 42", c.Now())
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	c := New()
+	c.Advance(100)
+	sw := NewStopwatch(c)
+	c.Advance(250)
+	if got := sw.Elapsed(); got != 250 {
+		t.Fatalf("Elapsed = %v, want 250", got)
+	}
+	sw.Restart()
+	if got := sw.Elapsed(); got != 0 {
+		t.Fatalf("Elapsed after restart = %v, want 0", got)
+	}
+	c.Advance(7)
+	if got := sw.Elapsed(); got != 7 {
+		t.Fatalf("Elapsed = %v, want 7", got)
+	}
+}
+
+func TestDurationUnits(t *testing.T) {
+	tests := []struct {
+		d    Duration
+		us   float64
+		ms   float64
+		s    float64
+		text string
+	}{
+		{1500 * Nanosecond, 1.5, 0.0015, 1.5e-6, "1.5µs"},
+		{23 * Millisecond, 23000, 23, 0.023, "23ms"},
+		{2 * Second, 2e6, 2000, 2, "2s"},
+	}
+	for _, tt := range tests {
+		if got := tt.d.Microseconds(); got != tt.us {
+			t.Errorf("%v.Microseconds() = %v, want %v", tt.d, got, tt.us)
+		}
+		if got := tt.d.Milliseconds(); got != tt.ms {
+			t.Errorf("%v.Milliseconds() = %v, want %v", tt.d, got, tt.ms)
+		}
+		if got := tt.d.Seconds(); got != tt.s {
+			t.Errorf("%v.Seconds() = %v, want %v", tt.d, got, tt.s)
+		}
+		if got := tt.d.String(); got != tt.text {
+			t.Errorf("%v.String() = %q, want %q", tt.d, got, tt.text)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(100)
+	b := a.Add(50)
+	if b != 150 {
+		t.Fatalf("Add = %v, want 150", b)
+	}
+	if d := b.Sub(a); d != 50 {
+		t.Fatalf("Sub = %v, want 50", d)
+	}
+	if !a.Before(b) || b.Before(a) {
+		t.Fatalf("Before ordering wrong: a=%v b=%v", a, b)
+	}
+}
+
+// Property: advancing by a sequence of non-negative durations yields a time
+// equal to their sum, and the clock is monotonic at every step.
+func TestAdvanceMonotonicProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		c := New()
+		var sum Time
+		prev := c.Now()
+		for _, s := range steps {
+			c.Advance(Duration(s))
+			sum += Time(s)
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return c.Now() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

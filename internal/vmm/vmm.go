@@ -1,0 +1,98 @@
+// Package vmm models the virtual machine monitors the paper evaluates:
+// Firecracker (the microVM/Lupine monitor), QEMU (the heavyweight
+// baseline), and the unikernel monitors solo5-hvt and uhyve used by
+// Rumprun and HermiTux. A monitor contributes its process/VM setup time,
+// a kernel-image load rate, and the device bus the guest must enumerate.
+package vmm
+
+import (
+	"fmt"
+
+	"lupine/internal/simclock"
+)
+
+// Bus is the device bus a monitor exposes to its guest.
+type Bus int
+
+// Buses. Firecracker-style monitors expose virtio-mmio and avoid PCI
+// enumeration entirely (§2.2).
+const (
+	BusMMIO Bus = iota
+	BusPCI
+	BusNone // unikernel monitors: hypercall-based I/O, no bus at all
+)
+
+// String names the bus.
+func (b Bus) String() string {
+	switch b {
+	case BusMMIO:
+		return "virtio-mmio"
+	case BusPCI:
+		return "pci"
+	case BusNone:
+		return "hypercall"
+	default:
+		return fmt.Sprintf("Bus(%d)", int(b))
+	}
+}
+
+// Monitor describes a virtual machine monitor.
+type Monitor struct {
+	Name          string
+	SetupCost     simclock.Duration // process start + VM/device creation
+	LoadRatePerMB simclock.Duration // guest image load + decompress, per MB
+	Bus           Bus
+	BootsLinux    bool // unikernel monitors cannot boot Linux (§6.2)
+	MaxVCPUs      int
+}
+
+// Firecracker returns the AWS Firecracker model: a minimal Rust monitor
+// with virtio-mmio devices and no PCI.
+func Firecracker() *Monitor {
+	return &Monitor{
+		Name:          "firecracker",
+		SetupCost:     3 * simclock.Millisecond,
+		LoadRatePerMB: 200 * simclock.Microsecond,
+		Bus:           BusMMIO,
+		BootsLinux:    true,
+		MaxVCPUs:      32,
+	}
+}
+
+// QEMU returns a general-purpose QEMU model: full PCI emulation and a far
+// heavier setup path (~1.8M lines of C, §2.2).
+func QEMU() *Monitor {
+	return &Monitor{
+		Name:          "qemu",
+		SetupCost:     85 * simclock.Millisecond,
+		LoadRatePerMB: 350 * simclock.Microsecond,
+		Bus:           BusPCI,
+		BootsLinux:    true,
+		MaxVCPUs:      255,
+	}
+}
+
+// Solo5HVT returns the solo5-hvt unikernel monitor (Rumprun's ukvm
+// descendant).
+func Solo5HVT() *Monitor {
+	return &Monitor{
+		Name:          "solo5-hvt",
+		SetupCost:     500 * simclock.Microsecond,
+		LoadRatePerMB: 120 * simclock.Microsecond,
+		Bus:           BusNone,
+		BootsLinux:    false,
+		MaxVCPUs:      1,
+	}
+}
+
+// UHyve returns HermiTux's uhyve unikernel monitor.
+func UHyve() *Monitor {
+	return &Monitor{
+		Name:          "uhyve",
+		SetupCost:     500 * simclock.Microsecond,
+		LoadRatePerMB: 120 * simclock.Microsecond,
+		Bus:           BusNone,
+		BootsLinux:    false,
+		MaxVCPUs:      1,
+	}
+}

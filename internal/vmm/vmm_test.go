@@ -1,0 +1,55 @@
+package vmm
+
+import (
+	"testing"
+
+	"lupine/internal/simclock"
+)
+
+func TestMonitorProfiles(t *testing.T) {
+	fc := Firecracker()
+	q := QEMU()
+	s5 := Solo5HVT()
+	uh := UHyve()
+
+	// Firecracker: no PCI, boots Linux, far lighter than QEMU (§2.2).
+	if fc.Bus != BusMMIO || !fc.BootsLinux {
+		t.Errorf("firecracker = %+v", fc)
+	}
+	if q.Bus != BusPCI || !q.BootsLinux {
+		t.Errorf("qemu = %+v", q)
+	}
+	if fc.SetupCost >= q.SetupCost {
+		t.Error("firecracker setup not below QEMU")
+	}
+	// Unikernel monitors: no bus, no Linux, minimal setup (§2.2, §6.2).
+	for _, m := range []*Monitor{s5, uh} {
+		if m.BootsLinux {
+			t.Errorf("%s claims to boot Linux", m.Name)
+		}
+		if m.Bus != BusNone {
+			t.Errorf("%s bus = %v", m.Name, m.Bus)
+		}
+		if m.SetupCost >= fc.SetupCost {
+			t.Errorf("%s setup %v not below firecracker %v", m.Name, m.SetupCost, fc.SetupCost)
+		}
+		if m.MaxVCPUs != 1 {
+			t.Errorf("%s is multi-vcpu; unikernels are single-threaded", m.Name)
+		}
+	}
+	if s5.SetupCost > simclock.Millisecond {
+		t.Errorf("solo5 setup = %v, unikernel monitors boot in well under a ms", s5.SetupCost)
+	}
+}
+
+func TestBusString(t *testing.T) {
+	cases := map[Bus]string{BusMMIO: "virtio-mmio", BusPCI: "pci", BusNone: "hypercall"}
+	for b, want := range cases {
+		if got := b.String(); got != want {
+			t.Errorf("Bus(%d).String() = %q, want %q", int(b), got, want)
+		}
+	}
+	if Bus(42).String() == "" {
+		t.Error("unknown bus renders empty")
+	}
+}
