@@ -22,7 +22,10 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "", "comma-separated experiment ids (default all)")
 	csv := flag.Bool("csv", false, "emit tables as CSV (for plotting)")
+	seed := flag.Uint64("seed", 42, "fault-storm seed for the chaos experiment")
 	flag.Parse()
+
+	experiments.SetChaosSeed(*seed)
 
 	if *list {
 		for _, e := range experiments.All() {

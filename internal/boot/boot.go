@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"lupine/internal/faults"
 	"lupine/internal/kbuild"
 	"lupine/internal/simclock"
 	"lupine/internal/vmm"
@@ -53,6 +54,15 @@ const (
 // boot Linux (solo5-hvt, uhyve — §6.2: Linux does not run on unikernel
 // monitors).
 func Simulate(img *kbuild.Image, mon *vmm.Monitor, rootfsBytes int64) (Report, error) {
+	return SimulateInjected(img, mon, rootfsBytes, nil)
+}
+
+// SimulateInjected is Simulate with the vmm/device-probe fault site
+// armed: the probe runs right after early init (where virtio devices are
+// discovered) and a firing aborts the boot. The partial Report is
+// returned alongside the error so supervisors can account for the
+// virtual time the doomed attempt consumed.
+func SimulateInjected(img *kbuild.Image, mon *vmm.Monitor, rootfsBytes int64, inj *faults.Injector) (Report, error) {
 	if img == nil || mon == nil {
 		return Report{}, fmt.Errorf("boot: nil image or monitor")
 	}
@@ -68,6 +78,12 @@ func Simulate(img *kbuild.Image, mon *vmm.Monitor, rootfsBytes int64) (Report, e
 	add("monitor setup", mon.SetupCost)
 	add("kernel load", simclock.Duration(float64(mon.LoadRatePerMB)*img.MegabytesMB()))
 	add("early init", earlyInitCost)
+
+	// Device discovery happens right after early init; an injected probe
+	// failure kills the boot here, before any subsystem ran.
+	if d := inj.Hit(vmm.SiteDeviceProbe, simclock.Time(r.Total)); d.Fire {
+		return r, fmt.Errorf("%w: virtio device %d did not answer", vmm.ErrDeviceProbe, d.Param)
+	}
 
 	// CONFIG_PARAVIRT skips the expensive hardware timer calibration — the
 	// primary enabler of fast Linux boot (§4.3: without it, boot time

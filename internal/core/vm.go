@@ -6,6 +6,7 @@ import (
 
 	"lupine/internal/boot"
 	"lupine/internal/ext2"
+	"lupine/internal/faults"
 	"lupine/internal/guest"
 	"lupine/internal/simclock"
 	"lupine/internal/vmm"
@@ -26,7 +27,26 @@ type BootOpts struct {
 	Trace bool
 
 	MaxVirtualTime simclock.Duration
+
+	// Faults arms every fault-injection site along the launch path —
+	// device probe (boot), block reads (rootfs mount) and the guest
+	// kernel's own sites. Nil boots fault-free.
+	Faults *faults.Injector
 }
+
+// BootError wraps a launch failure with the partial boot timeline, so a
+// supervisor can both classify the cause (errors.Is/As through Err) and
+// account for the virtual time the failed attempt consumed.
+type BootError struct {
+	Report boot.Report
+	Err    error
+}
+
+// Error describes the failure.
+func (e *BootError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the cause for errors.Is/As.
+func (e *BootError) Unwrap() error { return e.Err }
 
 // VM is a booted unikernel: the boot timeline plus the running guest.
 type VM struct {
@@ -45,13 +65,13 @@ func (u *Unikernel) Boot(opts BootOpts) (*VM, error) {
 	if mon == nil {
 		mon = vmm.Firecracker()
 	}
-	report, err := boot.Simulate(u.Kernel, mon, int64(len(u.RootFS)))
+	report, err := boot.SimulateInjected(u.Kernel, mon, int64(len(u.RootFS)), opts.Faults)
 	if err != nil {
-		return nil, err
+		return nil, &BootError{Report: report, Err: err}
 	}
-	tree, err := ext2.ReadImage(u.RootFS)
+	tree, err := ext2.ReadImageInjected(u.RootFS, opts.Faults)
 	if err != nil {
-		return nil, fmt.Errorf("core: mounting rootfs: %w", err)
+		return nil, &BootError{Report: report, Err: fmt.Errorf("core: mounting rootfs: %w", err)}
 	}
 	g, err := guest.NewKernel(guest.Params{
 		Image:          u.Kernel,
@@ -59,9 +79,10 @@ func (u *Unikernel) Boot(opts BootOpts) (*VM, error) {
 		VCPUs:          opts.VCPUs,
 		RootFS:         tree,
 		MaxVirtualTime: opts.MaxVirtualTime,
+		Faults:         opts.Faults,
 	})
 	if err != nil {
-		return nil, err
+		return nil, &BootError{Report: report, Err: err}
 	}
 	if opts.Trace {
 		g.EnableTracing()
@@ -84,6 +105,10 @@ func (u *Unikernel) Boot(opts BootOpts) (*VM, error) {
 
 // Run executes the guest until completion or shutdown.
 func (vm *VM) Run() error { return vm.Guest.Run() }
+
+// ExitReason returns the structured kernel-panic reason if the guest died
+// of a modeled panic, nil otherwise.
+func (vm *VM) ExitReason() *guest.PanicError { return vm.Guest.PanicReason() }
 
 // Console returns the guest console output.
 func (vm *VM) Console() string { return vm.Guest.Console() }

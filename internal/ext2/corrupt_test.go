@@ -1,0 +1,125 @@
+package ext2
+
+import (
+	"errors"
+	"testing"
+
+	"lupine/internal/faults"
+)
+
+// corruptTree builds an image big enough to exercise direct blocks,
+// indirect blocks, symlinks and nested directories.
+func corruptTree(t *testing.T) []byte {
+	t.Helper()
+	big := make([]byte, 40*BlockSize)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	root := NewDir("",
+		NewDir("etc",
+			NewFile("passwd", 0o644, []byte("root:x:0:0:root:/root:/bin/sh\n")),
+			NewSymlink("mtab", "/proc/mounts"),
+		),
+		NewDir("bin",
+			NewFile("init", 0o755, []byte("#!/bin/sh\necho ok\n")),
+		),
+		NewFile("big.dat", 0o644, big),
+	)
+	img, err := WriteImage(root)
+	if err != nil {
+		t.Fatalf("WriteImage: %v", err)
+	}
+	return img
+}
+
+// TestBitFlipNeverPanics is the fuzz-style robustness check: flipping any
+// single bit of the image must either still parse or fail with an error
+// in the ErrIO taxonomy — never a panic, never a non-classified error.
+func TestBitFlipNeverPanics(t *testing.T) {
+	base := corruptTree(t)
+	// A deterministic stride keeps the test fast while still visiting
+	// every image region (superblock, descriptors, bitmaps, inode table,
+	// directory data, indirect blocks).
+	for off := 0; off < len(base); off += 37 {
+		for bit := uint(0); bit < 8; bit += 3 {
+			img := append([]byte(nil), base...)
+			img[off] ^= 1 << bit
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic at offset %d bit %d: %v", off, bit, r)
+					}
+				}()
+				if _, err := ReadImage(img); err != nil && !errors.Is(err, ErrIO) {
+					t.Fatalf("offset %d bit %d: error outside ErrIO taxonomy: %v", off, bit, err)
+				}
+			}()
+		}
+	}
+}
+
+// TestTruncationNeverPanics cuts the image at awkward boundaries.
+func TestTruncationNeverPanics(t *testing.T) {
+	base := corruptTree(t)
+	for _, n := range []int{0, 1, BlockSize, 2*BlockSize + 13, 3 * BlockSize, len(base) / 2, len(base) - 1} {
+		img := append([]byte(nil), base[:n]...)
+		if _, err := ReadImage(img); err != nil && !errors.Is(err, ErrIO) {
+			t.Fatalf("truncated to %d: error outside ErrIO taxonomy: %v", n, err)
+		}
+	}
+}
+
+// TestSentinelClassification checks the specific sentinels callers are
+// documented to match with errors.Is.
+func TestSentinelClassification(t *testing.T) {
+	base := corruptTree(t)
+
+	short := append([]byte(nil), base[:2*BlockSize]...)
+	if _, err := ReadImage(short); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short image: got %v, want ErrTruncated", err)
+	}
+
+	badMagic := append([]byte(nil), base...)
+	badMagic[BlockSize+56] ^= 0xFF
+	if _, err := ReadImage(badMagic); !errors.Is(err, ErrBadSuperblock) {
+		t.Errorf("bad magic: got %v, want ErrBadSuperblock", err)
+	}
+
+	// Inflate the block count past the image size.
+	claims := append([]byte(nil), base...)
+	claims[BlockSize+4] = 0xFF
+	claims[BlockSize+5] = 0xFF
+	if _, err := ReadImage(claims); !errors.Is(err, ErrBadSuperblock) {
+		t.Errorf("inflated block count: got %v, want ErrBadSuperblock", err)
+	}
+}
+
+// TestInjectedBlockFaults drives the ext2/block-read site directly: a
+// short read is an ErrTruncated failure, a bit flip yields either a parse
+// error in the taxonomy or silently corrupted file data — never a panic.
+func TestInjectedBlockFaults(t *testing.T) {
+	base := corruptTree(t)
+
+	shortRead := faults.MustNew(faults.Plan{
+		Seed:  1,
+		Rules: []faults.Rule{{Site: SiteBlockRead, NthHit: 1, Param: -1}},
+	})
+	if _, err := ReadImageInjected(base, shortRead); !errors.Is(err, ErrTruncated) {
+		t.Errorf("injected short read: got %v, want ErrTruncated", err)
+	}
+
+	for n := 1; n < 40; n += 2 {
+		flip := faults.MustNew(faults.Plan{
+			Seed:  1,
+			Rules: []faults.Rule{{Site: SiteBlockRead, NthHit: n, Param: int64(n * 131)}},
+		})
+		if _, err := ReadImageInjected(base, flip); err != nil && !errors.Is(err, ErrIO) {
+			t.Fatalf("bit flip on hit %d: error outside ErrIO taxonomy: %v", n, err)
+		}
+	}
+
+	// A nil injector must behave exactly like ReadImage.
+	if _, err := ReadImageInjected(base, nil); err != nil {
+		t.Fatalf("nil injector: %v", err)
+	}
+}

@@ -1,0 +1,44 @@
+package ext2
+
+// Exported error taxonomy for corrupted or truncated images. Every error
+// the reader can return wraps one of these sentinels (and all of them
+// wrap ErrIO), so callers can classify failures with errors.Is instead of
+// string matching — and a corrupted image can never do worse than an
+// EIO-shaped error: no slice panic escapes the package.
+
+import (
+	"errors"
+	"fmt"
+
+	"lupine/internal/faults"
+)
+
+var (
+	// ErrIO is the root of the taxonomy: any media or corruption failure
+	// satisfies errors.Is(err, ErrIO).
+	ErrIO = errors.New("ext2: I/O error")
+
+	// ErrTruncated reports an image shorter than its metadata requires.
+	ErrTruncated = fmt.Errorf("%w: truncated image", ErrIO)
+
+	// ErrBadSuperblock reports an unusable superblock or group descriptor.
+	ErrBadSuperblock = fmt.Errorf("%w: bad superblock", ErrIO)
+
+	// ErrCorruptInode reports an inode with impossible fields or block
+	// pointers.
+	ErrCorruptInode = fmt.Errorf("%w: corrupt inode", ErrIO)
+
+	// ErrCorruptDirent reports a malformed directory entry.
+	ErrCorruptDirent = fmt.Errorf("%w: corrupt directory entry", ErrIO)
+)
+
+// SiteBlockRead is the fault-injection site on the reader's block fetch
+// path: a negative Param models a short read (the block is cut off mid
+// sector and the read fails with ErrTruncated), a non-negative Param
+// flips one bit of the returned block, chosen by Param.
+const SiteBlockRead = "ext2/block-read"
+
+func init() {
+	faults.RegisterSite(SiteBlockRead, "ext2",
+		"a block read goes bad: Param<0 = short read (ErrTruncated), Param>=0 = single bit flip at a Param-chosen offset")
+}

@@ -1,12 +1,23 @@
 package ext2
 
-import "fmt"
+import (
+	"fmt"
+
+	"lupine/internal/faults"
+)
 
 // ReadImage parses a complete ext2 image (as produced by WriteImage, or
 // any single-block-group rev-0 image with 1 KiB blocks) back into a file
-// tree rooted at a nameless directory.
+// tree rooted at a nameless directory. Corruption anywhere in the image
+// surfaces as an error wrapping ErrIO (see errors.go), never as a panic.
 func ReadImage(img []byte) (*File, error) {
-	r, err := newReader(img)
+	return ReadImageInjected(img, nil)
+}
+
+// ReadImageInjected is ReadImage with the ext2/block-read fault site
+// armed: every block fetch consults inj (nil behaves like ReadImage).
+func ReadImageInjected(img []byte, inj *faults.Injector) (*File, error) {
+	r, err := newReader(img, inj)
 	if err != nil {
 		return nil, err
 	}
@@ -20,42 +31,47 @@ func ReadImage(img []byte) (*File, error) {
 
 type reader struct {
 	img            []byte
+	inj            *faults.Injector
 	inodesPerGroup uint32
 	inodesTotal    uint32
 	totalBlocks    uint32
 	groups         uint32
 }
 
-func newReader(img []byte) (*reader, error) {
+func newReader(img []byte, inj *faults.Injector) (*reader, error) {
 	if len(img) < 3*BlockSize {
-		return nil, fmt.Errorf("ext2: image too small (%d bytes)", len(img))
+		return nil, fmt.Errorf("%w: image too small (%d bytes)", ErrTruncated, len(img))
 	}
 	sb := img[BlockSize : 2*BlockSize]
 	if le.Uint16(sb[56:]) != superMagic {
-		return nil, fmt.Errorf("ext2: bad magic %#x", le.Uint16(sb[56:]))
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadSuperblock, le.Uint16(sb[56:]))
 	}
 	if logBlock := le.Uint32(sb[24:]); logBlock != 0 {
-		return nil, fmt.Errorf("ext2: unsupported block size %d", BlockSize<<logBlock)
+		return nil, fmt.Errorf("%w: unsupported block size %d", ErrBadSuperblock, BlockSize<<logBlock)
 	}
 	r := &reader{
 		img:            img,
+		inj:            inj,
 		inodesPerGroup: le.Uint32(sb[40:]),
 		inodesTotal:    le.Uint32(sb[0:]),
 		totalBlocks:    le.Uint32(sb[4:]),
 	}
 	if int(r.totalBlocks)*BlockSize > len(img) {
-		return nil, fmt.Errorf("ext2: superblock claims %d blocks, image has %d", r.totalBlocks, len(img)/BlockSize)
+		return nil, fmt.Errorf("%w: claims %d blocks, image has %d", ErrBadSuperblock, r.totalBlocks, len(img)/BlockSize)
+	}
+	if r.totalBlocks < firstDataBlock+1 {
+		return nil, fmt.Errorf("%w: only %d blocks", ErrBadSuperblock, r.totalBlocks)
 	}
 	bpg := le.Uint32(sb[32:])
 	if bpg == 0 || r.inodesPerGroup == 0 {
-		return nil, fmt.Errorf("ext2: zero blocks or inodes per group")
+		return nil, fmt.Errorf("%w: zero blocks or inodes per group", ErrBadSuperblock)
 	}
 	r.groups = (r.totalBlocks - firstDataBlock + bpg - 1) / bpg
 	// Sanity-check every group descriptor's inode table pointer.
 	for g := uint32(0); g < r.groups; g++ {
 		it := r.inodeTableOf(g)
 		if it == 0 || it >= r.totalBlocks {
-			return nil, fmt.Errorf("ext2: group %d: bad inode table start %d", g, it)
+			return nil, fmt.Errorf("%w: group %d: bad inode table start %d", ErrBadSuperblock, g, it)
 		}
 	}
 	return r, nil
@@ -70,11 +86,25 @@ func (r *reader) inodeTableOf(g uint32) uint32 {
 	return le.Uint32(r.img[off:])
 }
 
+// block fetches block n, running it past the ext2/block-read fault site:
+// an injected short read fails the fetch, an injected bit flip corrupts a
+// copy of the block (the image itself stays intact, like a transient
+// controller error).
 func (r *reader) block(n uint32) ([]byte, error) {
 	if n == 0 || n >= r.totalBlocks {
-		return nil, fmt.Errorf("ext2: block %d out of range", n)
+		return nil, fmt.Errorf("%w: block %d out of range", ErrIO, n)
 	}
-	return r.img[int(n)*BlockSize : (int(n)+1)*BlockSize], nil
+	b := r.img[int(n)*BlockSize : (int(n)+1)*BlockSize]
+	if d := r.inj.Hit(SiteBlockRead, 0); d.Fire {
+		if d.Param < 0 {
+			return nil, fmt.Errorf("%w: short read of block %d", ErrTruncated, n)
+		}
+		flipped := append([]byte(nil), b...)
+		off := int(d.Param) % len(flipped)
+		flipped[off] ^= 1 << (uint(d.Param) % 8)
+		return flipped, nil
+	}
+	return b, nil
 }
 
 type rawInode struct {
@@ -86,13 +116,13 @@ type rawInode struct {
 
 func (r *reader) inode(ino uint32) (*rawInode, error) {
 	if ino == 0 || ino > r.inodesTotal {
-		return nil, fmt.Errorf("ext2: inode %d out of range", ino)
+		return nil, fmt.Errorf("%w: inode %d out of range", ErrCorruptInode, ino)
 	}
 	g := (ino - 1) / r.inodesPerGroup
 	idx := (ino - 1) % r.inodesPerGroup
 	off := int(r.inodeTableOf(g))*BlockSize + int(idx)*InodeSize
 	if off+InodeSize > len(r.img) {
-		return nil, fmt.Errorf("ext2: inode %d beyond image", ino)
+		return nil, fmt.Errorf("%w: inode %d beyond image", ErrCorruptInode, ino)
 	}
 	b := r.img[off : off+InodeSize]
 	in := &rawInode{
@@ -108,6 +138,9 @@ func (r *reader) inode(ino uint32) (*rawInode, error) {
 
 // readData collects a file's contents through direct and indirect blocks.
 func (r *reader) readData(in *rawInode) ([]byte, error) {
+	if int64(in.size) > int64(maxFileBlocks)*BlockSize {
+		return nil, fmt.Errorf("%w: size %d exceeds maximum file size", ErrCorruptInode, in.size)
+	}
 	remaining := int(in.size)
 	out := make([]byte, 0, remaining)
 	appendBlock := func(bn uint32) error {
@@ -128,7 +161,7 @@ func (r *reader) readData(in *rawInode) ([]byte, error) {
 	}
 	for i := 0; i < directBlocks && remaining > 0; i++ {
 		if in.block[i] == 0 {
-			return nil, fmt.Errorf("ext2: sparse files unsupported")
+			return nil, fmt.Errorf("%w: sparse files unsupported", ErrCorruptInode)
 		}
 		if err := appendBlock(in.block[i]); err != nil {
 			return nil, err
@@ -145,7 +178,7 @@ func (r *reader) readData(in *rawInode) ([]byte, error) {
 		}
 	}
 	if remaining > 0 {
-		return nil, fmt.Errorf("ext2: inode claims %d bytes but blocks are exhausted", in.size)
+		return nil, fmt.Errorf("%w: claims %d bytes but blocks are exhausted", ErrCorruptInode, in.size)
 	}
 	return out, nil
 }
@@ -173,7 +206,7 @@ func (r *reader) walkIndirect(bn uint32, depth int, f func(uint32) error) error 
 
 func (r *reader) readDir(ino uint32, visiting map[uint32]bool) (*File, error) {
 	if visiting[ino] {
-		return nil, fmt.Errorf("ext2: directory cycle at inode %d", ino)
+		return nil, fmt.Errorf("%w: directory cycle at inode %d", ErrCorruptDirent, ino)
 	}
 	visiting[ino] = true
 	defer delete(visiting, ino)
@@ -183,7 +216,7 @@ func (r *reader) readDir(ino uint32, visiting map[uint32]bool) (*File, error) {
 		return nil, err
 	}
 	if in.mode&modeDir == 0 {
-		return nil, fmt.Errorf("ext2: inode %d is not a directory", ino)
+		return nil, fmt.Errorf("%w: inode %d is not a directory", ErrCorruptInode, ino)
 	}
 	data, err := r.readData(in)
 	if err != nil {
@@ -196,7 +229,7 @@ func (r *reader) readDir(ino uint32, visiting map[uint32]bool) (*File, error) {
 		recLen := int(le.Uint16(data[off+4:]))
 		nameLen := int(data[off+6])
 		if recLen < 8 || off+recLen > len(data) || 8+nameLen > recLen {
-			return nil, fmt.Errorf("ext2: corrupt directory entry at offset %d", off)
+			return nil, fmt.Errorf("%w: at offset %d", ErrCorruptDirent, off)
 		}
 		name := string(data[off+8 : off+8+nameLen])
 		off += recLen

@@ -1,0 +1,144 @@
+package faults
+
+import (
+	"testing"
+
+	"lupine/internal/simclock"
+)
+
+func init() {
+	RegisterSite("test/alpha", "test", "first test site")
+	RegisterSite("test/beta", "test", "second test site")
+}
+
+func TestValidateRejectsBadRules(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+	}{
+		{"unregistered site", Plan{Rules: []Rule{{Site: "test/nope", NthHit: 1}}}},
+		{"no trigger", Plan{Rules: []Rule{{Site: "test/alpha"}}}},
+		{"prob out of range", Plan{Rules: []Rule{{Site: "test/alpha", Prob: 1.5}}}},
+		{"empty window", Plan{Rules: []Rule{{Site: "test/alpha", NthHit: 1, From: 10, To: 5}}}},
+	}
+	for _, c := range cases {
+		if err := c.plan.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad plan", c.name)
+		}
+	}
+}
+
+func TestNthHitFiresExactlyOnce(t *testing.T) {
+	inj := MustNew(Plan{Rules: []Rule{{Site: "test/alpha", NthHit: 3, Param: 42}}})
+	fires := 0
+	for i := 0; i < 10; i++ {
+		d := inj.Hit("test/alpha", 0)
+		if d.Fire {
+			fires++
+			if i != 2 {
+				t.Errorf("fired on hit %d, want hit 3", i+1)
+			}
+			if d.Param != 42 {
+				t.Errorf("Param = %d, want 42", d.Param)
+			}
+		}
+	}
+	if fires != 1 {
+		t.Fatalf("nth-hit rule fired %d times, want 1", fires)
+	}
+}
+
+func TestWindowGatesHits(t *testing.T) {
+	ms := simclock.Time(simclock.Millisecond)
+	inj := MustNew(Plan{Rules: []Rule{{Site: "test/alpha", NthHit: 1, From: 5 * ms, To: 10 * ms}}})
+	if d := inj.Hit("test/alpha", 4*ms); d.Fire {
+		t.Error("fired before window")
+	}
+	if d := inj.Hit("test/alpha", 10*ms); d.Fire {
+		t.Error("fired at window end (To is exclusive)")
+	}
+	if d := inj.Hit("test/alpha", 5*ms); !d.Fire {
+		t.Error("did not fire on first in-window hit")
+	}
+}
+
+func TestProbabilityIsDeterministicAndLimited(t *testing.T) {
+	plan := Plan{Seed: 7, Rules: []Rule{{Site: "test/beta", Prob: 0.3, Limit: 4}}}
+	run := func() []int {
+		inj := MustNew(plan)
+		var fires []int
+		for i := 0; i < 200; i++ {
+			if inj.Hit("test/beta", 0).Fire {
+				fires = append(fires, i)
+			}
+		}
+		return fires
+	}
+	a, b := run(), run()
+	if len(a) != 4 {
+		t.Fatalf("limited rule fired %d times, want 4", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+	// A different seed must produce a different storm.
+	plan.Seed = 8
+	inj := MustNew(plan)
+	var c []int
+	for i := 0; i < 200; i++ {
+		if inj.Hit("test/beta", 0).Fire {
+			c = append(c, i)
+		}
+	}
+	same := len(a) == len(c)
+	for i := 0; same && i < len(a); i++ {
+		same = a[i] == c[i]
+	}
+	if same {
+		t.Error("different seeds produced an identical storm")
+	}
+}
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var inj *Injector
+	if d := inj.Hit("test/alpha", 0); d.Fire {
+		t.Error("nil injector fired")
+	}
+	if inj.TotalFired() != 0 || inj.FiredAt("test/alpha") != 0 {
+		t.Error("nil injector reports fires")
+	}
+}
+
+func TestRulesAreIndependent(t *testing.T) {
+	inj := MustNew(Plan{Rules: []Rule{
+		{Site: "test/alpha", NthHit: 1, Param: 1},
+		{Site: "test/alpha", NthHit: 2, Param: 2},
+		{Site: "test/beta", NthHit: 1, Param: 3},
+	}})
+	if d := inj.Hit("test/alpha", 0); !d.Fire || d.Param != 1 {
+		t.Fatalf("hit 1: %+v, want fire with Param 1", d)
+	}
+	if d := inj.Hit("test/alpha", 0); !d.Fire || d.Param != 2 {
+		t.Fatalf("hit 2: %+v, want fire with Param 2", d)
+	}
+	if d := inj.Hit("test/beta", 0); !d.Fire || d.Param != 3 {
+		t.Fatalf("beta hit: %+v, want fire with Param 3", d)
+	}
+	if inj.TotalFired() != 3 || inj.FiredAt("test/alpha") != 2 {
+		t.Errorf("counters: total %d alpha %d, want 3 and 2", inj.TotalFired(), inj.FiredAt("test/alpha"))
+	}
+}
+
+func TestSitesListsRegistrations(t *testing.T) {
+	found := 0
+	for _, s := range Sites() {
+		if s.Subsystem == "test" {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("Sites() lists %d test sites, want 2", found)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"lupine/internal/ext2"
+	"lupine/internal/faults"
 	"lupine/internal/kbuild"
 	"lupine/internal/simclock"
 )
@@ -21,6 +22,10 @@ type Params struct {
 	// MaxVirtualTime aborts the run if the simulation passes this much
 	// virtual time, guarding against runaway models (0 = 1 virtual hour).
 	MaxVirtualTime simclock.Duration
+
+	// Faults optionally arms the kernel's fault-injection sites
+	// (guest/*, net/*); nil runs fault-free.
+	Faults *faults.Injector
 }
 
 // MiB is a convenience constant for memory sizes.
@@ -54,7 +59,10 @@ type Kernel struct {
 
 	shutdown bool
 	aborted  error
+	panicked *PanicError
 	maxTime  simclock.Time
+
+	inj *faults.Injector
 
 	memLimit int64
 	memUsed  int64
@@ -107,6 +115,7 @@ func NewKernel(p Params) (*Kernel, error) {
 		memLimit:     mem,
 		futexes:      make(map[futexKey]*waitQueue),
 		sysv:         newSysvState(),
+		inj:          p.Faults,
 	}
 	for i := 0; i < vcpus; i++ {
 		k.cpus = append(k.cpus, &cpu{id: i})
@@ -189,8 +198,9 @@ func (k *Kernel) Spawn(name string, fn AppFunc) *Proc {
 }
 
 // Run dispatches processes until every process has exited, a process
-// calls Poweroff, or the virtual-time guard trips. It returns an error on
-// deadlock (blocked processes with nothing to wake them) or guard abort.
+// calls Poweroff, the kernel panics, or the virtual-time guard trips. It
+// returns the structured *PanicError when the guest died of a modeled
+// kernel panic, and a plain error on deadlock or guard abort.
 func (k *Kernel) Run() error {
 	for k.alive > 0 && !k.shutdown {
 		p, c, start, err := k.pickNext()
@@ -207,6 +217,9 @@ func (k *Kernel) Run() error {
 	}
 	if k.shutdown {
 		k.killAll()
+	}
+	if k.panicked != nil {
+		return k.panicked
 	}
 	return nil
 }
@@ -267,10 +280,15 @@ func (k *Kernel) memAlloc(n int64) Errno {
 	return OK
 }
 
+// memFree returns n bytes of guest memory. Accounting underflow is a
+// kernel bug: instead of tearing the simulator down with a Go panic, the
+// guest dies of a modeled kernel panic (BUG-on-corruption semantics) and
+// the structured exit reason surfaces through Run.
 func (k *Kernel) memFree(n int64) {
 	k.memUsed -= n
 	if k.memUsed < 0 {
-		panic("guest: memory accounting underflow")
+		k.memUsed = 0
+		k.oops("memory accounting underflow: freed more pages than allocated")
 	}
 }
 

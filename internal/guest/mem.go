@@ -104,6 +104,9 @@ func (p *Proc) Mmap(length int64, populate bool) Errno {
 	if populate {
 		pages := (length + pageSize - 1) / pageSize
 		p.charge(simclock.Duration(pages) * p.pageFaultCost())
+		if e := p.allocFaults(); e != OK {
+			return e
+		}
 		return p.as.commit(p.k, length)
 	}
 	return OK
@@ -129,6 +132,9 @@ func (p *Proc) Touch(n int64) Errno {
 		p.as.reserved = 0
 	} else {
 		p.as.reserved -= n
+	}
+	if e := p.allocFaults(); e != OK {
+		return e
 	}
 	return p.as.commit(p.k, n)
 }

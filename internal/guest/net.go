@@ -1,6 +1,10 @@
 package guest
 
-import "fmt"
+import (
+	"fmt"
+
+	"lupine/internal/simclock"
+)
 
 // Socket domains (values match Linux so error messages carry the real
 // address-family numbers). Traffic is loopback only: the guest has a
@@ -267,20 +271,45 @@ func (p *Proc) SocketPair() (int, int, Errno) {
 // send writes to the peer's inbound buffer.
 func (s *socket) send(p *Proc, f *FD, buf []byte) (int, Errno) {
 	c := &p.k.cost
+	// Loopback fault sites: an injected delay stalls the sender; an
+	// injected drop loses a datagram outright (UDP semantics) or costs a
+	// stream sender one retransmit timeout before delivery succeeds.
+	if d := p.k.faultHit(SiteLoopbackDelay); d.Fire {
+		us := d.Param
+		if us <= 0 {
+			us = 100
+		}
+		p.chargeRaw(simclock.Duration(us) * simclock.Microsecond)
+	}
+	dropped := false
+	var rto int64
+	if d := p.k.faultHit(SiteLoopbackDrop); d.Fire {
+		dropped = true
+		rto = d.Param
+		if rto <= 0 {
+			rto = 200
+		}
+	}
 	if s.typ == SockDgram {
 		p.charge(p.netCost(s.opCostBase(c)))
 		dst, ok := p.k.net.dgramEPs[s.addr]
 		if !ok {
 			return 0, ECONNREFUSED
 		}
+		p.charge(p.netCost(chargeBytes(c.TCPBytePerKB, len(buf))))
+		if dropped {
+			return len(buf), OK // the datagram vanished on the wire
+		}
 		dst.dgrams = append(dst.dgrams, dgram{from: s.addr, data: append([]byte(nil), buf...)})
 		dst.dgramQ.wake(p.k, 1, p.cpu.now)
 		p.k.wakePollers(p.cpu.now)
-		p.charge(p.netCost(chargeBytes(c.TCPBytePerKB, len(buf))))
 		return len(buf), OK
 	}
 	if s.peer == nil {
 		return 0, ENOTCONN
+	}
+	if dropped {
+		p.chargeRaw(simclock.Duration(rto) * simclock.Microsecond)
 	}
 	p.charge(p.netCost(s.opCostBase(c)))
 	n, errno := s.peer.in.write(p, f, buf)

@@ -12,12 +12,15 @@ type Stats struct {
 	TimersFired    int64 // timer expirations delivered
 	ProcsCreated   int64 // processes and threads ever created
 	PageFaultPages int64 // pages committed through Touch/Alloc
+	OOMKills       int64 // processes reaped by the OOM killer
+	FaultsInjected int64 // fault-injection sites that fired in this kernel
 }
 
 // String renders the counters in /proc/stat style.
 func (s Stats) String() string {
-	return fmt.Sprintf("syscalls %d ctxt %d wakeups %d timers %d procs %d pages %d",
-		s.Syscalls, s.ContextSwitch, s.Wakeups, s.TimersFired, s.ProcsCreated, s.PageFaultPages)
+	return fmt.Sprintf("syscalls %d ctxt %d wakeups %d timers %d procs %d pages %d oomkills %d faults %d",
+		s.Syscalls, s.ContextSwitch, s.Wakeups, s.TimersFired, s.ProcsCreated, s.PageFaultPages,
+		s.OOMKills, s.FaultsInjected)
 }
 
 // Stats returns a snapshot of the kernel's runtime counters.

@@ -356,6 +356,9 @@ func (p *Proc) Read(fd int, buf []byte) (int, Errno) {
 	if f == nil {
 		return 0, EBADF
 	}
+	if e := p.transientFault(); e != OK {
+		return 0, e
+	}
 	switch f.kind {
 	case fdFile:
 		return p.readFile(f, buf)
@@ -406,6 +409,9 @@ func (p *Proc) Write(fd int, buf []byte) (int, Errno) {
 	f := p.fds.get(fd)
 	if f == nil {
 		return 0, EBADF
+	}
+	if e := p.transientFault(); e != OK {
+		return 0, e
 	}
 	switch f.kind {
 	case fdFile:

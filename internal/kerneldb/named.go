@@ -154,6 +154,15 @@ config USER_NS
 config MODULES
 	bool "Enable loadable module support"
 
+config MULTIPROCESS
+	bool "Full multi-process management and the OOM killer"
+	help
+	  Process-management machinery only multi-process deployments need:
+	  under memory pressure the out-of-memory killer selects and kills a
+	  victim process instead of panicking the kernel. Unikernel-style
+	  single-application configurations leave this out and accept a
+	  kernel panic on OOM (§5's graceful-degradation contrast).
+
 config KERNEL_MODE_LINUX
 	bool "Kernel Mode Linux"
 	depends on !PARAVIRT
@@ -470,6 +479,7 @@ var namedInfo = map[string]Info{
 	"IPC_NS":            {Class: ClassMultiProc, Size: 10000, Boot: us(25)},
 	"USER_NS":           {Class: ClassMultiProc, Size: 18000, Boot: us(40)},
 	"MODULES":           {Class: ClassMultiProc, Size: 30000, Boot: us(50)},
+	"MULTIPROCESS":      {Class: ClassMultiProc, Size: 22000, Boot: us(40)},
 	"KERNEL_MODE_LINUX": {Class: ClassUnselected, Size: 25000, Boot: us(30)},
 
 	// arch/

@@ -39,6 +39,9 @@ func trimFloat(v float64) string {
 	return strings.TrimSuffix(s, ".")
 }
 
+// Percent formats a 0..1 ratio as a percentage cell.
+func Percent(ratio float64) string { return trimFloat(ratio*100) + "%" }
+
 // Render draws the table with aligned columns.
 func (t *Table) Render() string {
 	var sb strings.Builder

@@ -1,0 +1,199 @@
+package vmm
+
+// The supervisor models the monitor-side crash-recovery loop a production
+// deployment wraps around a microVM: the Linux panic=reboot idiom driven
+// from outside the guest. Firecracker's jailer (and every serious
+// unikernel deployment story) restarts a dead VM; what the paper's thesis
+// predicts — and the chaos experiment measures — is that a Lupine guest
+// with full multi-process support *degrades* under faults that make a
+// unikernel-style guest *die*, so the supervisor restarts it less often
+// and availability stays higher.
+//
+// Everything here runs in virtual time on a simclock.Clock, so a fault
+// storm replays bit-for-bit for a fixed seed.
+
+import (
+	"errors"
+	"fmt"
+
+	"lupine/internal/faults"
+	"lupine/internal/simclock"
+)
+
+// SiteDeviceProbe is the VMM-owned fault-injection site on the device
+// enumeration path during boot: a firing models a virtio probe failure
+// and aborts the boot.
+const SiteDeviceProbe = "vmm/device-probe"
+
+func init() {
+	faults.RegisterSite(SiteDeviceProbe, "vmm",
+		"a device probe fails during boot; the attempt ends in OutcomeBootFail")
+}
+
+// ErrDeviceProbe is returned (wrapped) by boot paths when the
+// vmm/device-probe site fires.
+var ErrDeviceProbe = errors.New("vmm: device probe failed")
+
+// Outcome classifies how one VM lifetime under the supervisor ended.
+type Outcome int
+
+// Outcomes, in roughly increasing order of progress made.
+const (
+	OutcomeBootFail Outcome = iota // never came up: probe/mount/image failure
+	OutcomeHang                    // missed the boot/init watchdog
+	OutcomePanic                   // came up (or not) and died of a guest panic
+	OutcomeOK                      // workload ran to completion
+)
+
+// String names the outcome the way the chaos table prints it.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeBootFail:
+		return "boot-fail"
+	case OutcomeHang:
+		return "hang"
+	case OutcomePanic:
+		return "panic"
+	case OutcomeOK:
+		return "ok"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Attempt is what one VM lifetime reports back to the supervisor.
+type Attempt struct {
+	Outcome    Outcome
+	Ready      bool              // init completed; the service was up at some point
+	ReadyAfter simclock.Duration // boot+init latency (valid when Ready)
+	Ran        simclock.Duration // total virtual time this lifetime consumed
+	Detail     string            // human-readable cause ("kernel panic: ...", etc.)
+}
+
+// BootFn runs one complete VM lifetime (boot, init, workload) and reports
+// how it went. The attempt argument counts from 1.
+type BootFn func(attempt int) Attempt
+
+// RestartPolicy is the panic=reboot configuration of the supervisor.
+type RestartPolicy struct {
+	MaxRestarts     int               // restarts after the first attempt (0 = never restart)
+	Backoff         simclock.Duration // delay before the first restart
+	BackoffFactor   int               // exponential growth factor (0 or 1 = constant)
+	MaxBackoff      simclock.Duration // backoff ceiling (0 = uncapped)
+	BootWatchdog    simclock.Duration // attempts not ready within this are reclassified Hang (0 = disabled)
+	CrashLoopBudget int               // consecutive never-ready attempts before giving up (0 = disabled)
+}
+
+// AttemptRecord is an Attempt plus its position on the virtual timeline.
+type AttemptRecord struct {
+	Attempt
+	Start   simclock.Time     // when this lifetime began
+	Backoff simclock.Duration // delay charged before this attempt (0 for the first)
+}
+
+// SupervisorReport summarizes a whole supervised run.
+type SupervisorReport struct {
+	Attempts  []AttemptRecord
+	Recovered bool // the final attempt completed the workload
+	CrashLoop bool // gave up early: CrashLoopBudget consecutive dead-on-arrival boots
+	End       simclock.Time
+
+	// Uptime is the virtual time the service was actually serving: the
+	// post-ready portion of every ready attempt.
+	Uptime simclock.Duration
+
+	// RecoverySamples holds, for every attempt that reached ready, the
+	// downtime that preceded it — from the previous loss of service (or
+	// the start of the timeline) to the ready instant.
+	RecoverySamples []simclock.Duration
+}
+
+// Restarts counts restarts actually performed (attempts beyond the first).
+func (r *SupervisorReport) Restarts() int {
+	if len(r.Attempts) == 0 {
+		return 0
+	}
+	return len(r.Attempts) - 1
+}
+
+// Availability is uptime over total wall-clock of the supervised run.
+func (r *SupervisorReport) Availability() float64 {
+	if r.End == 0 {
+		return 0
+	}
+	return float64(r.Uptime) / float64(r.End)
+}
+
+// MeanRecovery averages the downtime samples; 0 if the service never had
+// to recover.
+func (r *SupervisorReport) MeanRecovery() simclock.Duration {
+	if len(r.RecoverySamples) == 0 {
+		return 0
+	}
+	var sum simclock.Duration
+	for _, s := range r.RecoverySamples {
+		sum += s
+	}
+	return sum / simclock.Duration(len(r.RecoverySamples))
+}
+
+// Supervise runs boot under the restart policy on a fresh virtual
+// timeline and returns the full report. Deterministic: the only inputs
+// are the policy and whatever determinism boot itself provides.
+func Supervise(policy RestartPolicy, boot BootFn) SupervisorReport {
+	clk := simclock.New()
+	var rep SupervisorReport
+	backoff := policy.Backoff
+	consecutiveDOA := 0
+	var downSince simclock.Time // when service was last lost (timeline start counts)
+
+	for attempt := 1; ; attempt++ {
+		var charged simclock.Duration
+		if attempt > 1 {
+			charged = backoff
+			clk.Advance(backoff)
+			if f := policy.BackoffFactor; f > 1 {
+				backoff *= simclock.Duration(f)
+			}
+			if policy.MaxBackoff > 0 && backoff > policy.MaxBackoff {
+				backoff = policy.MaxBackoff
+			}
+		}
+		start := clk.Now()
+		att := boot(attempt)
+		// The watchdog fires from outside the guest: a lifetime that did
+		// not reach ready within the budget is cut off and reclassified,
+		// whatever the guest thought it was doing.
+		if policy.BootWatchdog > 0 && !att.Ready && att.Ran > policy.BootWatchdog {
+			att.Outcome = OutcomeHang
+			att.Ran = policy.BootWatchdog
+			att.Detail = fmt.Sprintf("boot watchdog fired after %v", policy.BootWatchdog)
+		}
+		clk.Advance(att.Ran)
+		rep.Attempts = append(rep.Attempts, AttemptRecord{Attempt: att, Start: start, Backoff: charged})
+
+		if att.Ready {
+			consecutiveDOA = 0
+			rep.Uptime += att.Ran - att.ReadyAfter
+			readyAt := start.Add(att.ReadyAfter)
+			rep.RecoverySamples = append(rep.RecoverySamples, readyAt.Sub(downSince))
+			downSince = clk.Now() // service lost again when the lifetime ends
+		} else {
+			consecutiveDOA++
+		}
+
+		if att.Outcome == OutcomeOK {
+			rep.Recovered = true
+			break
+		}
+		if policy.CrashLoopBudget > 0 && consecutiveDOA >= policy.CrashLoopBudget {
+			rep.CrashLoop = true
+			break
+		}
+		if attempt-1 >= policy.MaxRestarts {
+			break
+		}
+	}
+	rep.End = clk.Now()
+	return rep
+}
