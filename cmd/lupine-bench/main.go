@@ -4,6 +4,7 @@
 // Usage:
 //
 //	lupine-bench -list
+//	lupine-bench -list-faults
 //	lupine-bench [-run id[,id...]]   (default: all)
 package main
 
@@ -15,11 +16,13 @@ import (
 	"time"
 
 	"lupine/internal/experiments"
+	"lupine/internal/faults"
 	"lupine/internal/metrics"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
+	listFaults := flag.Bool("list-faults", false, "list registered fault-injection sites")
 	run := flag.String("run", "", "comma-separated experiment ids (default all)")
 	csv := flag.Bool("csv", false, "emit tables as CSV (for plotting)")
 	seed := flag.Uint64("seed", 42, "fault-storm seed for the chaos experiment")
@@ -30,6 +33,15 @@ func main() {
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *listFaults {
+		// Importing the experiments package pulls in every subsystem, so
+		// the registry holds all sites a plan can arm.
+		for _, s := range faults.Sites() {
+			fmt.Printf("%-24s %-8s %s\n", s.Name, s.Subsystem, s.Doc)
 		}
 		return
 	}

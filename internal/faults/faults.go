@@ -119,6 +119,40 @@ type Decision struct {
 	Rule  int // index into the plan's rules; valid when Fire
 }
 
+// Stream is a seedable splitmix64 random stream: tiny and bit-stable
+// across platforms, unlike math/rand's unspecified sequence. The injector
+// draws fire decisions from one; the fleet front-end draws arrival and
+// service jitter from others. Distinct seeds give independent streams,
+// and the same seed always replays the same sequence.
+type Stream struct {
+	state uint64
+}
+
+// NewStream returns a stream positioned at seed.
+func NewStream(seed uint64) *Stream { return &Stream{state: seed} }
+
+// Uint64 draws the next 64 random bits.
+func (st *Stream) Uint64() uint64 {
+	st.state += 0x9E3779B97F4A7C15
+	z := st.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 draws from [0,1).
+func (st *Stream) Float64() float64 {
+	return float64(st.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn draws from [0,n); n must be positive.
+func (st *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("faults: Intn with non-positive n")
+	}
+	return int(st.Uint64() % uint64(n))
+}
+
 // Injector evaluates a Plan against a stream of site hits. One injector
 // carries state (hit counts, fire counts, the random stream) across a
 // whole VM lifecycle including supervisor reboots, so "fail the first
@@ -126,7 +160,7 @@ type Decision struct {
 // the simulation substrate is single-threaded by construction.
 type Injector struct {
 	plan     Plan
-	rng      uint64
+	rng      *Stream
 	ruleHits []int // in-window hits seen per rule
 	fired    []int // fires per rule
 	total    int
@@ -139,7 +173,7 @@ func New(pl Plan) (*Injector, error) {
 	}
 	return &Injector{
 		plan:     pl,
-		rng:      pl.Seed,
+		rng:      NewStream(pl.Seed),
 		ruleHits: make([]int, len(pl.Rules)),
 		fired:    make([]int, len(pl.Rules)),
 	}, nil
@@ -176,7 +210,7 @@ func (inj *Injector) Hit(site string, now simclock.Time) Decision {
 		if r.NthHit > 0 {
 			triggered = inj.ruleHits[i] == r.NthHit
 		} else if r.Limit == 0 || inj.fired[i] < r.Limit {
-			triggered = inj.rand01() < r.Prob
+			triggered = inj.rng.Float64() < r.Prob
 		}
 		if triggered && !out.Fire {
 			inj.fired[i]++
@@ -207,15 +241,4 @@ func (inj *Injector) FiredAt(site string) int {
 		}
 	}
 	return n
-}
-
-// rand01 draws from [0,1) using splitmix64: tiny, seedable and
-// bit-stable across platforms, unlike math/rand's unspecified stream.
-func (inj *Injector) rand01() float64 {
-	inj.rng += 0x9E3779B97F4A7C15
-	z := inj.rng
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	z ^= z >> 31
-	return float64(z>>11) / float64(1<<53)
 }

@@ -142,3 +142,31 @@ func TestSitesListsRegistrations(t *testing.T) {
 		t.Errorf("Sites() lists %d test sites, want 2", found)
 	}
 }
+
+func TestStreamDeterministicAndSeedSensitive(t *testing.T) {
+	a, b := NewStream(7), NewStream(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with the same seed diverged at draw %d", i)
+		}
+	}
+	c, d := NewStream(1), NewStream(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c.Uint64() == d.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical draws across different seeds", same)
+	}
+	s := NewStream(99)
+	for i := 0; i < 1000; i++ {
+		if f := s.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+		if n := s.Intn(13); n < 0 || n >= 13 {
+			t.Fatalf("Intn(13) out of range: %d", n)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"fmt"
+
+	"lupine/internal/simclock"
+)
+
+// BreakerState is the classic three-state circuit breaker.
+type BreakerState int
+
+// Breaker states. Closed passes traffic and counts consecutive failures;
+// Open rejects traffic until a cool-down elapses; HalfOpen admits a
+// single trial at a time and closes after enough successes (trial
+// requests or health-probe successes both count).
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String names the state the way the transition log prints it.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// BreakerConfig tunes one backend's breaker.
+type BreakerConfig struct {
+	FailThreshold     int               // consecutive failures that trip Closed -> Open
+	OpenFor           simclock.Duration // cool-down before Open -> HalfOpen
+	HalfOpenSuccesses int               // consecutive successes that close a half-open breaker
+}
+
+// BreakerTransition is one edge of the state machine on the fleet
+// timeline; the sequence of transitions for a fixed seed is the
+// deterministic-replay contract the tests pin down.
+type BreakerTransition struct {
+	At       simclock.Time
+	From, To BreakerState
+	Cause    string
+}
+
+// String renders the transition for timeline diffs.
+func (t BreakerTransition) String() string {
+	return fmt.Sprintf("%v %v->%v (%s)", t.At, t.From, t.To, t.Cause)
+}
+
+// Breaker is a per-backend circuit breaker driven by data-plane request
+// outcomes and control-plane health probes. It is single-threaded like
+// the rest of the simulation substrate.
+type Breaker struct {
+	cfg      BreakerConfig
+	state    BreakerState
+	fails    int // consecutive failures while closed
+	oks      int // consecutive successes while half-open
+	reopenAt simclock.Time
+
+	// Transitions records every state change in order.
+	Transitions []BreakerTransition
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker { return &Breaker{cfg: cfg} }
+
+// State reports the current state without side effects.
+func (b *Breaker) State() BreakerState { return b.state }
+
+// ReopenAt reports when an open breaker becomes eligible for half-open.
+func (b *Breaker) ReopenAt() simclock.Time { return b.reopenAt }
+
+func (b *Breaker) transition(now simclock.Time, to BreakerState, cause string) {
+	b.Transitions = append(b.Transitions, BreakerTransition{At: now, From: b.state, To: to, Cause: cause})
+	b.state = to
+	b.fails = 0
+	b.oks = 0
+}
+
+// Allow reports whether a request may be sent now. An open breaker whose
+// cool-down has elapsed moves to half-open as a side effect, so the first
+// caller after the window becomes the trial.
+func (b *Breaker) Allow(now simclock.Time) bool {
+	if b.state == BreakerOpen && now >= b.reopenAt {
+		b.transition(now, BreakerHalfOpen, "cool-down elapsed")
+	}
+	return b.state != BreakerOpen
+}
+
+// Success records a successful request.
+func (b *Breaker) Success(now simclock.Time) { b.success(now, "trial successes") }
+
+// ProbeSuccess records a successful health probe. Probes close a
+// half-open breaker just like trial requests, so a backend with no
+// traffic routed at it can still rejoin the pool.
+func (b *Breaker) ProbeSuccess(now simclock.Time) { b.success(now, "probe successes") }
+
+func (b *Breaker) success(now simclock.Time, cause string) {
+	switch b.state {
+	case BreakerClosed:
+		b.fails = 0
+	case BreakerHalfOpen:
+		b.oks++
+		if b.oks >= b.cfg.HalfOpenSuccesses {
+			b.transition(now, BreakerClosed, cause)
+		}
+	}
+}
+
+// Failure records a failed request: enough consecutive failures trip a
+// closed breaker, and any failure re-opens a half-open one.
+func (b *Breaker) Failure(now simclock.Time) {
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.FailThreshold {
+			b.reopenAt = now.Add(b.cfg.OpenFor)
+			b.transition(now, BreakerOpen, "consecutive failures")
+		}
+	case BreakerHalfOpen:
+		b.reopenAt = now.Add(b.cfg.OpenFor)
+		b.transition(now, BreakerOpen, "trial failed")
+	}
+}
+
+// ProbeFailure records a failed health probe. A failed probe dooms a
+// half-open trial window but does not count against a closed breaker:
+// liveness is the health checker's verdict, the breaker's job is the
+// data plane.
+func (b *Breaker) ProbeFailure(now simclock.Time) {
+	if b.state == BreakerHalfOpen {
+		b.reopenAt = now.Add(b.cfg.OpenFor)
+		b.transition(now, BreakerOpen, "probe failed")
+	}
+}

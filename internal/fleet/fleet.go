@@ -1,0 +1,498 @@
+// Package fleet is the resilience layer between clients and a pool of
+// supervised unikernel VMs: a deterministic, virtual-time front-end that
+// load-balances request traffic across backends whose ground truth is a
+// supervised service timeline (internal/vmm). It implements the
+// production playbook the paper's deployment story needs — heartbeat
+// health checks, per-backend circuit breakers, bounded retries under a
+// fleet-wide retry budget, admission control with explicit load-shed
+// accounting, and rolling kernel upgrades with surge capacity — all on a
+// simclock.Clock with faults injected through internal/faults, so a
+// fixed seed replays bit-for-bit.
+package fleet
+
+import (
+	"container/heap"
+	"fmt"
+
+	"lupine/internal/faults"
+	"lupine/internal/metrics"
+	"lupine/internal/simclock"
+)
+
+// Fleet-owned fault-injection sites: the front-end's own wire can fail.
+const (
+	// SiteProbeDrop loses a health probe in flight; the checker counts a
+	// false-negative failure against the backend.
+	SiteProbeDrop = "fleet/probe-drop"
+	// SiteDispatchDrop loses a dispatched request between the balancer
+	// and an otherwise healthy backend; the sender times out and retries.
+	SiteDispatchDrop = "fleet/dispatch-drop"
+)
+
+func init() {
+	faults.RegisterSite(SiteProbeDrop, "fleet",
+		"a health probe is lost in flight; the backend is charged a probe failure")
+	faults.RegisterSite(SiteDispatchDrop, "fleet",
+		"a dispatched request is lost on the wire; the client times out and retries")
+}
+
+// Config tunes the front-end. All durations are virtual.
+type Config struct {
+	// Traffic: Requests arrivals starting at TrafficStart, Interarrival
+	// apart, each jittered by a seeded draw in [0, ArrivalJitter).
+	// TrafficStart models a pool that finishes provisioning before the
+	// balancer advertises it: without it, cold-boot latency would be
+	// double-counted as unavailability.
+	Requests      int
+	TrafficStart  simclock.Time
+	Interarrival  simclock.Duration
+	ArrivalJitter simclock.Duration
+
+	// Service cost per request on a live backend, plus seeded jitter.
+	ServiceTime   simclock.Duration
+	ServiceJitter simclock.Duration
+
+	// Capacity and admission control: each backend serves at most
+	// BackendSlots requests concurrently; beyond that, requests wait in a
+	// bounded pending queue of QueueDepth and are shed once it is full.
+	BackendSlots int
+	QueueDepth   int
+
+	// Failure detection and retry policy. A request hitting a dead
+	// backend is refused after FailFast; a request lost on the wire costs
+	// a DropTimeout. Retries back off exponentially (RetryBackoff,
+	// RetryFactor) bounded by the per-request Deadline and by the
+	// fleet-wide retry budget: a token bucket holding at most RetryBurst
+	// tokens, refilled by RetryBudget per completed request, so a storm
+	// sheds load instead of amplifying it.
+	FailFast     simclock.Duration
+	DropTimeout  simclock.Duration
+	Deadline     simclock.Duration
+	MaxRetries   int
+	RetryBackoff simclock.Duration
+	RetryFactor  int
+	RetryBudget  float64
+	RetryBurst   float64
+
+	// Heartbeat health checking: every ProbeInterval each in-rotation
+	// backend is probed; ProbeFailAfter consecutive misses mark it down,
+	// ProbeRiseAfter consecutive successes bring it back.
+	ProbeInterval  simclock.Duration
+	ProbeFailAfter int
+	ProbeRiseAfter int
+
+	Breaker BreakerConfig
+
+	// Seed drives arrival and service jitter (independent streams).
+	Seed uint64
+}
+
+// DefaultConfig returns the tuning the fleetchaos experiment uses: a
+// pool comfortably over-provisioned when healthy, so every unavailability
+// the table reports is storm-caused, not capacity-caused.
+func DefaultConfig() Config {
+	const us = simclock.Microsecond
+	const ms = simclock.Millisecond
+	return Config{
+		Requests:      2000,
+		Interarrival:  50 * us,
+		ArrivalJitter: 20 * us,
+		ServiceTime:   250 * us,
+		ServiceJitter: 100 * us,
+
+		BackendSlots: 4,
+		QueueDepth:   32,
+
+		FailFast:     200 * us,
+		DropTimeout:  1 * ms,
+		Deadline:     10 * ms,
+		MaxRetries:   3,
+		RetryBackoff: 500 * us,
+		RetryFactor:  2,
+		RetryBudget:  0.1,
+		RetryBurst:   20,
+
+		ProbeInterval:  1 * ms,
+		ProbeFailAfter: 2,
+		ProbeRiseAfter: 2,
+
+		Breaker: BreakerConfig{FailThreshold: 5, OpenFor: 5 * ms, HalfOpenSuccesses: 2},
+		Seed:    42,
+	}
+}
+
+// Result is what one fleet run reports.
+type Result struct {
+	Total        int // requests that arrived
+	OK           int // served within deadline
+	Shed         int // refused at admission: pending queue full
+	Failed       int // dispatched but never served
+	DeadlineMiss int // subset of Failed+queue drops that ran out of deadline
+	Retries      int // re-dispatches performed
+	BudgetDenied int // retries refused by the fleet-wide budget
+	BreakerOpens int // open transitions across all breakers
+	Restarts     int // supervisor restarts summed over initial backends
+	MinActive    int // fewest structurally active backends at any instant
+	End          simclock.Time
+
+	// Latencies holds arrival-to-completion times of served requests, in
+	// arrival order.
+	Latencies []simclock.Duration
+}
+
+// Availability is the fraction of offered requests that were served.
+func (r *Result) Availability() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.OK) / float64(r.Total)
+}
+
+// ShedRate is the fraction of offered requests refused at admission.
+func (r *Result) ShedRate() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Total)
+}
+
+// Percentile returns the p-th percentile served latency.
+func (r *Result) Percentile(p float64) simclock.Duration {
+	ns := make([]int64, len(r.Latencies))
+	for i, d := range r.Latencies {
+		ns[i] = int64(d)
+	}
+	return simclock.Duration(metrics.Percentile(ns, p))
+}
+
+// request is one client request's journey through the front-end.
+type request struct {
+	id       int
+	arrival  simclock.Time
+	attempts int // dispatches so far
+}
+
+// event is one scheduled state change; seq breaks time ties in schedule
+// order, which is what makes the run replayable.
+type event struct {
+	at  simclock.Time
+	seq int
+	fn  func(now simclock.Time)
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// queued is a pending request with its enqueue instant.
+type queued struct {
+	r  *request
+	at simclock.Time
+}
+
+// Fleet is the running front-end. Construct with New, drive with Run.
+type Fleet struct {
+	cfg      Config
+	clk      *simclock.Clock
+	backends []*Backend
+	inj      *faults.Injector // fleet-plane faults; nil = clean wire
+
+	arrivalRng *faults.Stream
+	serviceRng *faults.Stream
+
+	events eventQueue
+	seq    int
+
+	queue       []queued
+	retryTokens float64
+	rrNext      int
+
+	plan     *UpgradePlan
+	upgraded bool // plan finished (or absent)
+
+	resolved int
+	res      Result
+}
+
+// New assembles a fleet over the initial backends. plan may be nil (no
+// rolling upgrade) and inj may be nil (no fleet-plane faults).
+func New(cfg Config, backends []*Backend, plan *UpgradePlan, inj *faults.Injector) *Fleet {
+	f := &Fleet{
+		cfg:         cfg,
+		clk:         simclock.New(),
+		inj:         inj,
+		arrivalRng:  faults.NewStream(cfg.Seed),
+		serviceRng:  faults.NewStream(cfg.Seed ^ 0xA5A5A5A5A5A5A5A5),
+		retryTokens: cfg.RetryBurst,
+		plan:        plan,
+		upgraded:    plan == nil,
+	}
+	for _, b := range backends {
+		f.admit(b, 0)
+		f.res.Restarts += b.Timeline.Stats.Restarts
+	}
+	f.res.MinActive = f.activeCount()
+	return f
+}
+
+// Run plays the whole workload and returns the result. Deterministic:
+// the only inputs are the config, the backend timelines, the upgrade
+// plan, and the injector's plan and seed.
+func (f *Fleet) Run() Result {
+	// Arrivals, jittered from the seeded stream.
+	at := f.cfg.TrafficStart
+	for i := 0; i < f.cfg.Requests; i++ {
+		r := &request{id: i, arrival: at.Add(f.jitter(f.arrivalRng, f.cfg.ArrivalJitter))}
+		f.schedule(r.arrival, func(now simclock.Time) { f.admitRequest(r, now) })
+		at = at.Add(f.cfg.Interarrival)
+	}
+	f.res.Total = f.cfg.Requests
+	f.schedule(simclock.Time(f.cfg.ProbeInterval), f.probeTick)
+	if f.plan != nil {
+		f.schedule(f.plan.Start, func(now simclock.Time) { f.startUpgrade(now) })
+	}
+	for f.events.Len() > 0 {
+		e := heap.Pop(&f.events).(*event)
+		f.clk.AdvanceTo(e.at)
+		e.fn(e.at)
+	}
+	f.res.End = f.clk.Now()
+	return f.res
+}
+
+func (f *Fleet) schedule(at simclock.Time, fn func(now simclock.Time)) {
+	if at < f.clk.Now() {
+		at = f.clk.Now()
+	}
+	f.seq++
+	heap.Push(&f.events, &event{at: at, seq: f.seq, fn: fn})
+}
+
+func (f *Fleet) jitter(rng *faults.Stream, span simclock.Duration) simclock.Duration {
+	if span <= 0 {
+		return 0
+	}
+	return simclock.Duration(rng.Intn(int(span)))
+}
+
+// admit places a backend in rotation at time now, attaching a fresh
+// breaker and an optimistic heartbeat verdict.
+func (f *Fleet) admit(b *Backend, now simclock.Time) {
+	b.start = now
+	b.admitted = true
+	b.healthy = true
+	b.breaker = NewBreaker(f.cfg.Breaker)
+	f.backends = append(f.backends, b)
+	f.pump(now)
+}
+
+func (f *Fleet) activeCount() int {
+	n := 0
+	for _, b := range f.backends {
+		if b.active() {
+			n++
+		}
+	}
+	return n
+}
+
+func (f *Fleet) noteActive() {
+	if n := f.activeCount(); n < f.res.MinActive {
+		f.res.MinActive = n
+	}
+}
+
+// pick returns the next dispatchable backend with a free slot,
+// round-robin so load spreads and the choice stays deterministic.
+func (f *Fleet) pick(now simclock.Time) *Backend {
+	n := len(f.backends)
+	for i := 0; i < n; i++ {
+		b := f.backends[(f.rrNext+i)%n]
+		if b.dispatchable(now) && b.inflight < f.cfg.BackendSlots {
+			f.rrNext = (f.rrNext + i + 1) % n
+			return b
+		}
+	}
+	return nil
+}
+
+// admitRequest is the admission-control gate: dispatch if a backend has
+// capacity, queue while the bounded queue has room, shed otherwise.
+func (f *Fleet) admitRequest(r *request, now simclock.Time) {
+	if b := f.pick(now); b != nil {
+		f.send(r, b, now)
+		return
+	}
+	if len(f.queue) < f.cfg.QueueDepth {
+		f.queue = append(f.queue, queued{r: r, at: now})
+		return
+	}
+	f.res.Shed++
+	f.resolved++
+}
+
+// send dispatches r to b and schedules the outcome: ground truth decides
+// between completion, fast refusal (backend down), and wire loss.
+func (f *Fleet) send(r *request, b *Backend, now simclock.Time) {
+	r.attempts++
+	b.inflight++
+	svc := f.cfg.ServiceTime + f.jitter(f.serviceRng, f.cfg.ServiceJitter)
+	done := now.Add(svc)
+	dropped := false
+	if d := f.inj.Hit(SiteDispatchDrop, now); d.Fire {
+		dropped = true
+	}
+	if !dropped && b.aliveAt(now) && b.aliveAt(done) {
+		f.schedule(done, func(t simclock.Time) {
+			b.inflight--
+			b.served++
+			b.breaker.Success(t)
+			f.res.OK++
+			f.resolved++
+			// Served traffic earns retry budget back, capped at the burst.
+			f.retryTokens += f.cfg.RetryBudget
+			if f.retryTokens > f.cfg.RetryBurst {
+				f.retryTokens = f.cfg.RetryBurst
+			}
+			f.res.Latencies = append(f.res.Latencies, t.Sub(r.arrival))
+			f.maybeDrained(b, t)
+			f.pump(t)
+		})
+		return
+	}
+	// Failure detection: a dead backend refuses fast; a lost request
+	// costs the client its timeout.
+	wait := f.cfg.FailFast
+	if dropped {
+		wait = f.cfg.DropTimeout
+	}
+	f.schedule(now.Add(wait), func(t simclock.Time) {
+		b.inflight--
+		b.failed++
+		b.breaker.Failure(t)
+		if b.breaker.State() == BreakerOpen {
+			f.res.BreakerOpens++
+			f.schedule(b.breaker.ReopenAt(), f.pump)
+		}
+		f.maybeDrained(b, t)
+		f.retry(r, t)
+		f.pump(t)
+	})
+}
+
+// retry re-dispatches a failed request under the retry policy: bounded
+// attempts, exponential backoff under the per-request deadline, and the
+// fleet-wide token budget.
+func (f *Fleet) retry(r *request, now simclock.Time) {
+	if r.attempts > f.cfg.MaxRetries {
+		f.res.Failed++
+		f.resolved++
+		return
+	}
+	backoff := f.cfg.RetryBackoff
+	for i := 1; i < r.attempts; i++ {
+		if f.cfg.RetryFactor > 1 {
+			backoff *= simclock.Duration(f.cfg.RetryFactor)
+		}
+	}
+	retryAt := now.Add(backoff)
+	if retryAt.Sub(r.arrival) > f.cfg.Deadline {
+		f.res.Failed++
+		f.res.DeadlineMiss++
+		f.resolved++
+		return
+	}
+	if f.retryTokens < 1 {
+		f.res.Failed++
+		f.res.BudgetDenied++
+		f.resolved++
+		return
+	}
+	f.retryTokens--
+	f.res.Retries++
+	f.schedule(retryAt, func(t simclock.Time) { f.admitRequest(r, t) })
+}
+
+// pump drains the pending queue into free capacity, dropping requests
+// whose deadline passed while they waited.
+func (f *Fleet) pump(now simclock.Time) {
+	for len(f.queue) > 0 {
+		head := f.queue[0]
+		if now.Sub(head.r.arrival) > f.cfg.Deadline {
+			f.queue = f.queue[1:]
+			f.res.Failed++
+			f.res.DeadlineMiss++
+			f.resolved++
+			continue
+		}
+		b := f.pick(now)
+		if b == nil {
+			return
+		}
+		f.queue = f.queue[1:]
+		f.send(head.r, b, now)
+	}
+}
+
+// probeTick is the heartbeat: probe every in-rotation backend against
+// ground truth (modulo injected probe drops), update the health verdict
+// and feed the breaker, then reschedule itself while work remains.
+func (f *Fleet) probeTick(now simclock.Time) {
+	for _, b := range f.backends {
+		if !b.admitted || b.retired {
+			continue
+		}
+		up := b.aliveAt(now)
+		if d := f.inj.Hit(SiteProbeDrop, now); d.Fire {
+			up = false // the probe never came back
+		}
+		if up {
+			b.probeOKs++
+			b.probeFails = 0
+			if !b.healthy && b.probeOKs >= f.cfg.ProbeRiseAfter {
+				b.healthy = true
+			}
+			b.breaker.ProbeSuccess(now)
+		} else {
+			b.probeFails++
+			b.probeOKs = 0
+			if b.healthy && b.probeFails >= f.cfg.ProbeFailAfter {
+				b.healthy = false
+			}
+			b.breaker.ProbeFailure(now)
+			if b.breaker.State() == BreakerOpen {
+				f.schedule(b.breaker.ReopenAt(), f.pump)
+			}
+		}
+	}
+	f.pump(now)
+	if f.resolved < f.cfg.Requests || !f.upgraded {
+		f.schedule(now.Add(f.cfg.ProbeInterval), f.probeTick)
+	}
+}
+
+// Backends exposes the pool (initial + surge + replacements) for tables
+// and tests.
+func (f *Fleet) Backends() []*Backend { return f.backends }
+
+// String summarizes the last result (Fleet is not a Stringer for tables;
+// experiments render their own).
+func (f *Fleet) String() string {
+	return fmt.Sprintf("fleet(%d backends, %d/%d served)", len(f.backends), f.res.OK, f.res.Total)
+}

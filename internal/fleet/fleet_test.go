@@ -1,0 +1,248 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"lupine/internal/faults"
+	"lupine/internal/simclock"
+	"lupine/internal/vmm"
+)
+
+// checkConservation asserts every offered request resolved exactly once.
+func checkConservation(t *testing.T, res Result) {
+	t.Helper()
+	if got := res.OK + res.Shed + res.Failed; got != res.Total {
+		t.Errorf("request conservation broken: OK %d + Shed %d + Failed %d = %d, want %d",
+			res.OK, res.Shed, res.Failed, got, res.Total)
+	}
+}
+
+func TestHealthyPoolServesEverything(t *testing.T) {
+	cfg := DefaultConfig()
+	f := New(cfg, []*Backend{
+		NewBackend("a", AlwaysUp()),
+		NewBackend("b", AlwaysUp()),
+		NewBackend("c", AlwaysUp()),
+	}, nil, nil)
+	res := f.Run()
+	checkConservation(t, res)
+	if res.OK != res.Total {
+		t.Errorf("served %d of %d on a healthy pool", res.OK, res.Total)
+	}
+	if res.Shed != 0 || res.Retries != 0 || res.BreakerOpens != 0 {
+		t.Errorf("healthy pool saw shed=%d retries=%d opens=%d, want zeros",
+			res.Shed, res.Retries, res.BreakerOpens)
+	}
+	if p50, p99 := res.Percentile(50), res.Percentile(99); p50 <= 0 || p99 < p50 {
+		t.Errorf("implausible latency percentiles p50=%v p99=%v", p50, p99)
+	}
+}
+
+// TestOutageRoutedAround drops one backend mid-run: the pool has spare
+// capacity, so health checks and the breaker steer traffic away and
+// almost everything is still served.
+func TestOutageRoutedAround(t *testing.T) {
+	flaky := Timeline{
+		Up:      []Interval{{From: 0, To: simclock.Time(20 * ms)}},
+		End:     simclock.Time(60 * ms),
+		UpAfter: true,
+	}
+	cfg := DefaultConfig()
+	f := New(cfg, []*Backend{
+		NewBackend("a", AlwaysUp()),
+		NewBackend("b", AlwaysUp()),
+		NewBackend("c", flaky),
+	}, nil, nil)
+	res := f.Run()
+	checkConservation(t, res)
+	if res.BreakerOpens == 0 {
+		t.Error("the outage never tripped the breaker")
+	}
+	if res.Retries == 0 {
+		t.Error("no retries despite failures during the outage")
+	}
+	if avail := res.Availability(); avail < 0.97 {
+		t.Errorf("availability %.3f with 2/3 healthy capacity, want >= 0.97", avail)
+	}
+	c := f.Backends()[2]
+	if c.Served() == 0 || c.Failed() == 0 {
+		t.Errorf("flaky backend served=%d failed=%d, want both nonzero", c.Served(), c.Failed())
+	}
+}
+
+// TestDeadPoolShedsInsteadOfAmplifying starves the fleet completely: a
+// bounded queue plus the retry budget must shed load with every request
+// accounted, rather than retrying forever.
+func TestDeadPoolShedsInsteadOfAmplifying(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Requests = 500
+	f := New(cfg, []*Backend{
+		NewBackend("a", NeverUp()),
+		NewBackend("b", NeverUp()),
+	}, nil, nil)
+	res := f.Run()
+	checkConservation(t, res)
+	if res.OK != 0 {
+		t.Errorf("served %d requests on a dead pool", res.OK)
+	}
+	if res.Shed == 0 {
+		t.Error("bounded queue never shed on a dead pool")
+	}
+	// Breakers and health checks stop the dispatch storm, so retries stay
+	// far below offered load even before the budget engages.
+	if res.Retries > res.Total/2 {
+		t.Errorf("retries %d against %d offered requests: the storm amplified", res.Retries, res.Total)
+	}
+}
+
+// TestRetryBudgetBoundsAmplification disables the breaker and the health
+// checker so every request dispatches and fails: the fleet-wide token
+// budget is the last line against retry amplification. With no successes
+// there is no refill, so retries are capped at exactly the burst.
+func TestRetryBudgetBoundsAmplification(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Requests = 500
+	cfg.Breaker.FailThreshold = 1 << 30
+	cfg.ProbeFailAfter = 1 << 30
+	f := New(cfg, []*Backend{
+		NewBackend("a", NeverUp()),
+		NewBackend("b", NeverUp()),
+	}, nil, nil)
+	res := f.Run()
+	checkConservation(t, res)
+	if res.Retries != int(cfg.RetryBurst) {
+		t.Errorf("retries = %d, want exactly the burst %v (no refill without successes)",
+			res.Retries, cfg.RetryBurst)
+	}
+	if res.BudgetDenied == 0 {
+		t.Error("retry budget never engaged")
+	}
+	if res.BreakerOpens != 0 {
+		t.Errorf("breaker opened %d times with the threshold disabled", res.BreakerOpens)
+	}
+}
+
+func TestTimelineFromReport(t *testing.T) {
+	rep := vmm.Supervise(vmm.RestartPolicy{MaxRestarts: 2, Backoff: 10 * ms}, func(attempt int) vmm.Attempt {
+		switch attempt {
+		case 1:
+			return vmm.Attempt{Outcome: vmm.OutcomePanic, Ready: true, ReadyAfter: 5 * ms, Ran: 25 * ms}
+		case 2:
+			return vmm.Attempt{Outcome: vmm.OutcomeBootFail, Ran: 3 * ms}
+		default:
+			return vmm.Attempt{Outcome: vmm.OutcomeOK, Ready: true, ReadyAfter: 5 * ms, Ran: 45 * ms}
+		}
+	})
+	tl := FromReport(rep)
+	// Timeline: up [5,25), down through backoff+dead boot, up [53,93),
+	// recovered => up forever after End=93.
+	cases := []struct {
+		at   simclock.Duration
+		want bool
+	}{
+		{0, false}, {5 * ms, true}, {24 * ms, true}, {25 * ms, false},
+		{40 * ms, false}, {53 * ms, true}, {92 * ms, true}, {93 * ms, true}, {500 * ms, true},
+	}
+	for _, c := range cases {
+		if got := tl.UpAt(simclock.Time(c.at)); got != c.want {
+			t.Errorf("UpAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+	if tl.Stats.Restarts != 2 || tl.Stats.Panics != 1 || tl.Stats.BootFails != 1 || tl.Stats.OKs != 1 {
+		t.Errorf("timeline stats = %+v", tl.Stats)
+	}
+}
+
+// TestRollingUpgradeInvariant runs a rollout over a serving pool: the
+// structurally active count must never fall below the original pool size
+// (the surge pays for every drain), every original backend must be
+// replaced, and service must continue throughout.
+func TestRollingUpgradeInvariant(t *testing.T) {
+	cfg := DefaultConfig()
+	plan := &UpgradePlan{
+		Start:        simclock.Time(10 * ms),
+		BootTime:     2 * ms,
+		DrainTimeout: 5 * ms,
+		RebuildTime:  func(i int) simclock.Duration { return 3 * ms },
+		Surge:        AlwaysUp(),
+	}
+	f := New(cfg, []*Backend{
+		NewBackend("a", AlwaysUp()),
+		NewBackend("b", AlwaysUp()),
+		NewBackend("c", AlwaysUp()),
+	}, plan, nil)
+	res := f.Run()
+	checkConservation(t, res)
+	if res.MinActive < 3 {
+		t.Errorf("active backends dipped to %d during the rollout, want >= 3 by construction", res.MinActive)
+	}
+	if !f.upgraded {
+		t.Error("rollout never completed")
+	}
+	var names []string
+	retired := 0
+	for _, b := range f.Backends() {
+		names = append(names, b.Name)
+		if b.retired {
+			retired++
+		}
+	}
+	// Original a,b,c plus surge all retired; replacements a+v2,b+v2,c+v2 remain.
+	if retired != 4 {
+		t.Errorf("retired %d backends (%v), want 4 (a,b,c,surge)", retired, names)
+	}
+	for _, want := range []string{"a+v2", "b+v2", "c+v2", "surge"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no %s in pool %v", want, names)
+		}
+	}
+	if avail := res.Availability(); avail < 0.99 {
+		t.Errorf("availability %.3f during a healthy rollout, want >= 0.99", avail)
+	}
+}
+
+// TestFleetDeterministicWithFaultPlan replays a full run — flaky
+// backends, fleet-plane probe/dispatch drops, rolling upgrade — twice
+// and requires identical results.
+func TestFleetDeterministicWithFaultPlan(t *testing.T) {
+	flaky := Timeline{
+		Up:      []Interval{{From: 0, To: simclock.Time(15 * ms)}, {From: simclock.Time(25 * ms), To: simclock.Time(70 * ms)}},
+		End:     simclock.Time(70 * ms),
+		UpAfter: true,
+	}
+	run := func() string {
+		cfg := DefaultConfig()
+		inj := faults.MustNew(faults.Plan{
+			Seed: 77,
+			Rules: []faults.Rule{
+				{Site: SiteProbeDrop, Prob: 0.05},
+				{Site: SiteDispatchDrop, From: simclock.Time(30 * ms), To: simclock.Time(50 * ms), Prob: 0.02},
+			},
+		})
+		plan := &UpgradePlan{
+			Start:        simclock.Time(40 * ms),
+			BootTime:     2 * ms,
+			DrainTimeout: 5 * ms,
+			Surge:        AlwaysUp(),
+		}
+		f := New(cfg, []*Backend{
+			NewBackend("a", flaky),
+			NewBackend("b", AlwaysUp()),
+			NewBackend("c", AlwaysUp()),
+		}, plan, inj)
+		res := f.Run()
+		checkConservation(t, res)
+		return fmt.Sprintf("%+v", res)
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Errorf("fleet run not deterministic:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+}

@@ -29,11 +29,12 @@ type socket struct {
 	typ    int
 
 	// stream state
-	listening bool
-	backlog   []*socket // pending connections
-	acceptQ   *waitQueue
-	peer      *socket
-	in        *pipe // bytes from peer to us
+	listening  bool
+	backlog    []*socket // pending connections, bounded by backlogMax
+	backlogMax int       // listen(2) backlog cap; connects beyond it are refused
+	acceptQ    *waitQueue
+	peer       *socket
+	in         *pipe // bytes from peer to us
 
 	// dgram state
 	dgrams []dgram
@@ -160,8 +161,19 @@ func (p *Proc) Bind(fd int, port int, path string) Errno {
 	return OK
 }
 
-// Listen marks a stream socket as accepting connections.
-func (p *Proc) Listen(fd int) Errno {
+// SOMAXCONN is the default and maximum listen(2) backlog, as on Linux
+// (net.core.somaxconn's historic default).
+const SOMAXCONN = 128
+
+// Listen marks a stream socket as accepting connections with the default
+// backlog, like listen(fd, SOMAXCONN).
+func (p *Proc) Listen(fd int) Errno { return p.ListenBacklog(fd, SOMAXCONN) }
+
+// ListenBacklog is listen(2) with an explicit backlog: at most backlog
+// connections may sit un-accepted; further connects are refused. Like the
+// kernel, a backlog below 1 is raised to 1 and values above SOMAXCONN are
+// silently clamped.
+func (p *Proc) ListenBacklog(fd, backlog int) Errno {
 	if e := p.sysEnter("listen"); e != OK {
 		return e
 	}
@@ -172,7 +184,14 @@ func (p *Proc) Listen(fd int) Errno {
 	if !s.bound || s.typ != SockStream {
 		return EINVAL
 	}
+	if backlog < 1 {
+		backlog = 1
+	}
+	if backlog > SOMAXCONN {
+		backlog = SOMAXCONN
+	}
 	s.listening = true
+	s.backlogMax = backlog
 	p.k.net.listeners[s.addr] = s
 	return OK
 }
@@ -227,6 +246,12 @@ func (p *Proc) Connect(fd int, port int, path string) Errno {
 	}
 	lst, ok := p.k.net.listeners[addr]
 	if !ok || !lst.listening {
+		return ECONNREFUSED
+	}
+	// A full accept backlog refuses the connection outright (the
+	// tcp_abort_on_overflow behavior): backpressure reaches the client as
+	// ECONNREFUSED instead of the queue growing without bound.
+	if len(lst.backlog) >= lst.backlogMax {
 		return ECONNREFUSED
 	}
 	p.charge(p.netCost(p.k.cost.TCPConn))

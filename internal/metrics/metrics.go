@@ -4,6 +4,7 @@ package metrics
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -41,6 +42,26 @@ func trimFloat(v float64) string {
 
 // Percent formats a 0..1 ratio as a percentage cell.
 func Percent(ratio float64) string { return trimFloat(ratio*100) + "%" }
+
+// Percentile returns the p-th percentile (0 < p <= 100) of samples by the
+// nearest-rank method, the convention latency SLOs use: the value below
+// which p percent of samples fall, always an observed sample. It sorts a
+// copy; an empty input returns 0.
+func Percentile(samples []int64, p float64) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(p/100*float64(len(sorted)) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
 
 // Render draws the table with aligned columns.
 func (t *Table) Render() string {

@@ -88,3 +88,35 @@ func TestTableCSV(t *testing.T) {
 		t.Errorf("CSV = %q, want %q", got, want)
 	}
 }
+
+func TestPercentileNearestRank(t *testing.T) {
+	samples := []int64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want int64
+	}{
+		{5, 15},
+		{30, 20},
+		{40, 20},
+		{50, 35},
+		{99, 50},
+		{100, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(samples, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %d, want 0", got)
+	}
+	if got := Percentile([]int64{7}, 99); got != 7 {
+		t.Errorf("Percentile(single) = %d, want 7", got)
+	}
+	// The input must not be reordered.
+	in := []int64{9, 1, 5}
+	Percentile(in, 50)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Errorf("Percentile mutated its input: %v", in)
+	}
+}

@@ -137,10 +137,94 @@ func (r *SupervisorReport) MeanRecovery() simclock.Duration {
 	return sum / simclock.Duration(len(r.RecoverySamples))
 }
 
+// Stats is the supervisor's counter view: the one source of truth the
+// fleet health checker and the chaos tables both read. All fields are
+// derived from the report, so a Stats value is always consistent with
+// the attempt timeline it summarizes.
+type Stats struct {
+	Restarts    int               // attempts beyond the first
+	BootFails   int               // attempts ending OutcomeBootFail
+	Hangs       int               // attempts ending OutcomeHang
+	Panics      int               // attempts ending OutcomePanic
+	OKs         int               // attempts ending OutcomeOK
+	LastBackoff simclock.Duration // backoff charged before the final attempt
+	Recovered   bool
+	CrashLoop   bool
+	Uptime      simclock.Duration
+}
+
+// Count reports the total for one outcome.
+func (s Stats) Count(o Outcome) int {
+	switch o {
+	case OutcomeBootFail:
+		return s.BootFails
+	case OutcomeHang:
+		return s.Hangs
+	case OutcomePanic:
+		return s.Panics
+	case OutcomeOK:
+		return s.OKs
+	default:
+		return 0
+	}
+}
+
+// Stats summarizes the report into counters.
+func (r *SupervisorReport) Stats() Stats {
+	s := Stats{
+		Restarts:  r.Restarts(),
+		Recovered: r.Recovered,
+		CrashLoop: r.CrashLoop,
+		Uptime:    r.Uptime,
+	}
+	for _, a := range r.Attempts {
+		switch a.Outcome {
+		case OutcomeBootFail:
+			s.BootFails++
+		case OutcomeHang:
+			s.Hangs++
+		case OutcomePanic:
+			s.Panics++
+		case OutcomeOK:
+			s.OKs++
+		}
+	}
+	if n := len(r.Attempts); n > 0 {
+		s.LastBackoff = r.Attempts[n-1].Backoff
+	}
+	return s
+}
+
+// Supervisor runs VM lifetimes under a restart policy and retains the
+// report of its last run, so callers that need both the timeline and the
+// counter summary hold one object instead of re-deriving either.
+type Supervisor struct {
+	Policy RestartPolicy
+	report SupervisorReport
+}
+
+// NewSupervisor returns a supervisor with the given panic=reboot policy.
+func NewSupervisor(policy RestartPolicy) *Supervisor {
+	return &Supervisor{Policy: policy}
+}
+
+// Report returns the report of the last Run (zero value before any run).
+func (s *Supervisor) Report() SupervisorReport { return s.report }
+
+// Stats summarizes the last Run's counters.
+func (s *Supervisor) Stats() Stats { return s.report.Stats() }
+
 // Supervise runs boot under the restart policy on a fresh virtual
 // timeline and returns the full report. Deterministic: the only inputs
 // are the policy and whatever determinism boot itself provides.
 func Supervise(policy RestartPolicy, boot BootFn) SupervisorReport {
+	return NewSupervisor(policy).Run(boot)
+}
+
+// Run executes boot under the supervisor's policy on a fresh virtual
+// timeline, retains the report, and returns it.
+func (s *Supervisor) Run(boot BootFn) SupervisorReport {
+	policy := s.Policy
 	clk := simclock.New()
 	var rep SupervisorReport
 	backoff := policy.Backoff
@@ -195,5 +279,6 @@ func Supervise(policy RestartPolicy, boot BootFn) SupervisorReport {
 		}
 	}
 	rep.End = clk.Now()
+	s.report = rep
 	return rep
 }

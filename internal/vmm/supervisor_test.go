@@ -142,6 +142,43 @@ func TestAvailabilityAndRecoveryAccounting(t *testing.T) {
 	}
 }
 
+func TestSupervisorStats(t *testing.T) {
+	sup := NewSupervisor(RestartPolicy{MaxRestarts: 4, Backoff: 10 * ms, BackoffFactor: 2})
+	sup.Run(scripted(t, []Attempt{
+		{Outcome: OutcomeBootFail, Ran: 2 * ms},
+		{Outcome: OutcomePanic, Ready: true, ReadyAfter: 1 * ms, Ran: 5 * ms},
+		{Outcome: OutcomeHang, Ran: 8 * ms},
+		{Outcome: OutcomeOK, Ready: true, ReadyAfter: 1 * ms, Ran: 10 * ms},
+	}))
+	st := sup.Stats()
+	if st.Restarts != 3 {
+		t.Errorf("restarts = %d, want 3", st.Restarts)
+	}
+	want := map[Outcome]int{OutcomeBootFail: 1, OutcomePanic: 1, OutcomeHang: 1, OutcomeOK: 1}
+	for o, n := range want {
+		if got := st.Count(o); got != n {
+			t.Errorf("count(%v) = %d, want %d", o, got, n)
+		}
+	}
+	if st.BootFails != 1 || st.Hangs != 1 || st.Panics != 1 || st.OKs != 1 {
+		t.Errorf("per-outcome totals = %+v, want one each", st)
+	}
+	// Backoff schedule 10, 20, 40: the final attempt was charged 40ms.
+	if st.LastBackoff != 40*ms {
+		t.Errorf("last backoff = %v, want %v", st.LastBackoff, 40*ms)
+	}
+	if !st.Recovered || st.CrashLoop {
+		t.Errorf("recovered=%v crashLoop=%v, want true/false", st.Recovered, st.CrashLoop)
+	}
+	// Uptime: (5-1) + (10-1) = 13ms, matching the report the stats mirror.
+	if st.Uptime != 13*ms {
+		t.Errorf("uptime = %v, want %v", st.Uptime, 13*ms)
+	}
+	if st.Uptime != sup.Report().Uptime {
+		t.Error("stats uptime diverges from report uptime")
+	}
+}
+
 func TestNoRestartPolicy(t *testing.T) {
 	rep := Supervise(RestartPolicy{}, scripted(t, []Attempt{
 		{Outcome: OutcomePanic, Ready: true, ReadyAfter: 2 * ms, Ran: 10 * ms, Detail: "unikernel has no reboot"},
