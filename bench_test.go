@@ -66,6 +66,7 @@ func BenchmarkSMPOverhead(b *testing.B)           { runExperiment(b, "sec5smp") 
 func BenchmarkSecuritySurface(b *testing.B)       { runExperiment(b, "sec-surface") }
 func BenchmarkForkDegradation(b *testing.B)       { runExperiment(b, "sec5fork") }
 func BenchmarkFleetSharing(b *testing.B)          { runExperiment(b, "fleet") }
+func BenchmarkSurgeScaleOut(b *testing.B)         { runExperiment(b, "surge") }
 func BenchmarkBootPhaseBreakdown(b *testing.B)    { runExperiment(b, "fig7-detail") }
 func BenchmarkKPTIAblation(b *testing.B)          { runExperiment(b, "abl-kpti") }
 func BenchmarkParavirtAblation(b *testing.B)      { runExperiment(b, "abl-paravirt") }

@@ -6,9 +6,11 @@
 //	lupine-bench -list
 //	lupine-bench -list-faults
 //	lupine-bench [-run id[,id...]]   (default: all)
+//	lupine-bench -json [-run id[,id...]]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +27,7 @@ func main() {
 	listFaults := flag.Bool("list-faults", false, "list registered fault-injection sites")
 	run := flag.String("run", "", "comma-separated experiment ids (default all)")
 	csv := flag.Bool("csv", false, "emit tables as CSV (for plotting)")
+	jsonOut := flag.Bool("json", false, "emit results as a JSON array (machine-readable)")
 	seed := flag.Uint64("seed", 42, "fault-storm seed for the chaos experiment")
 	flag.Parse()
 
@@ -61,12 +64,17 @@ func main() {
 	}
 
 	failed := 0
+	var records []jsonRecord
 	for _, e := range selected {
 		start := time.Now()
 		out, err := e.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: FAILED: %v\n", e.ID, err)
 			failed++
+			continue
+		}
+		if *jsonOut {
+			records = append(records, newJSONRecord(e, out))
 			continue
 		}
 		if tbl, ok := out.(*metrics.Table); ok && *csv {
@@ -76,7 +84,38 @@ func main() {
 		fmt.Printf("# %s — %s (wall %.1fs)\n\n%s\n", e.ID, e.Title,
 			time.Since(start).Seconds(), out)
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// jsonRecord is one experiment's machine-readable result: tables and
+// figures marshal structurally, anything else degrades to its rendering.
+type jsonRecord struct {
+	ID     string          `json:"id"`
+	Title  string          `json:"title"`
+	Table  *metrics.Table  `json:"table,omitempty"`
+	Figure *metrics.Figure `json:"figure,omitempty"`
+	Text   string          `json:"text,omitempty"`
+}
+
+func newJSONRecord(e experiments.Experiment, out fmt.Stringer) jsonRecord {
+	rec := jsonRecord{ID: e.ID, Title: e.Title}
+	switch v := out.(type) {
+	case *metrics.Table:
+		rec.Table = v
+	case *metrics.Figure:
+		rec.Figure = v
+	default:
+		rec.Text = out.String()
+	}
+	return rec
 }

@@ -135,6 +135,15 @@ type Result struct {
 	MinActive    int // fewest structurally active backends at any instant
 	End          simclock.Time
 
+	// Autoscaler accounting (zero unless the fleet was built with
+	// NewAutoscaled).
+	ScaleUps   int           // scale-up decisions taken
+	ScaleDowns int           // scale-down drains started
+	Restores   int           // backends launched via snapshot restore
+	ColdBoots  int           // backends launched via cold boot (fallbacks included)
+	PeakActive int           // most structurally active backends at any instant
+	FullAt     simclock.Time // first instant the pool reached Max (-1 = never)
+
 	// Latencies holds arrival-to-completion times of served requests, in
 	// arrival order.
 	Latencies []simclock.Duration
@@ -226,6 +235,12 @@ type Fleet struct {
 	plan     *UpgradePlan
 	upgraded bool // plan finished (or absent)
 
+	scaler       *AutoscalePolicy
+	scaleSeq     int // launches requested so far
+	scalePending int // launches provisioning, not yet admitted
+	upReadyAt    simclock.Time
+	downReadyAt  simclock.Time
+
 	resolved int
 	res      Result
 }
@@ -233,6 +248,14 @@ type Fleet struct {
 // New assembles a fleet over the initial backends. plan may be nil (no
 // rolling upgrade) and inj may be nil (no fleet-plane faults).
 func New(cfg Config, backends []*Backend, plan *UpgradePlan, inj *faults.Injector) *Fleet {
+	return NewAutoscaled(cfg, backends, nil, plan, inj)
+}
+
+// NewAutoscaled is New plus a demand-driven autoscaler: the pool grows
+// and shrinks between the policy's Min and Max, provisioning new
+// backends through the policy (snapshot restore or cold boot). scaler
+// may be nil (fixed pool).
+func NewAutoscaled(cfg Config, backends []*Backend, scaler *AutoscalePolicy, plan *UpgradePlan, inj *faults.Injector) *Fleet {
 	f := &Fleet{
 		cfg:         cfg,
 		clk:         simclock.New(),
@@ -242,12 +265,15 @@ func New(cfg Config, backends []*Backend, plan *UpgradePlan, inj *faults.Injecto
 		retryTokens: cfg.RetryBurst,
 		plan:        plan,
 		upgraded:    plan == nil,
+		scaler:      scaler,
 	}
+	f.res.FullAt = -1
 	for _, b := range backends {
 		f.admit(b, 0)
 		f.res.Restarts += b.Timeline.Stats.Restarts
 	}
 	f.res.MinActive = f.activeCount()
+	f.notePool(0)
 	return f
 }
 
@@ -266,6 +292,9 @@ func (f *Fleet) Run() Result {
 	f.schedule(simclock.Time(f.cfg.ProbeInterval), f.probeTick)
 	if f.plan != nil {
 		f.schedule(f.plan.Start, func(now simclock.Time) { f.startUpgrade(now) })
+	}
+	if f.scaler != nil {
+		f.schedule(simclock.Time(f.scaler.Evaluate), f.autoscaleTick)
 	}
 	for f.events.Len() > 0 {
 		e := heap.Pop(&f.events).(*event)

@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"testing"
+
+	"lupine/internal/simclock"
+)
+
+// TestTimelineEdgeWindows pins the half-open interval semantics: a span
+// [From, To) serves at From and not at To, End hands over to UpAfter
+// exactly at End, and gaps between spans are down.
+func TestTimelineEdgeWindows(t *testing.T) {
+	tl := Timeline{
+		Up: []Interval{
+			{From: simclock.Time(2 * ms), To: simclock.Time(5 * ms)},
+			{From: simclock.Time(8 * ms), To: simclock.Time(10 * ms)},
+		},
+		End:     simclock.Time(10 * ms),
+		UpAfter: true,
+	}
+	cases := []struct {
+		at   simclock.Duration
+		want bool
+	}{
+		{0, false},              // before the first span
+		{2 * ms, true},          // inclusive left edge
+		{5*ms - 1, true},        // last instant of the span
+		{5 * ms, false},         // exclusive right edge
+		{6 * ms, false},         // gap between spans
+		{8 * ms, true},          // second span opens
+		{10*ms - 1, true},       // last instant before End
+		{10 * ms, true},         // End itself: UpAfter takes over
+		{simclock.Second, true}, // far future: still UpAfter
+	}
+	for _, c := range cases {
+		if got := tl.UpAt(simclock.Time(c.at)); got != c.want {
+			t.Errorf("UpAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+// TestTimelineEndWithoutRecovery: when the record ends un-recovered, the
+// service is down from End on even if the final span touched it.
+func TestTimelineEndWithoutRecovery(t *testing.T) {
+	tl := Timeline{
+		Up:  []Interval{{From: 0, To: simclock.Time(4 * ms)}},
+		End: simclock.Time(4 * ms),
+	}
+	if !tl.UpAt(simclock.Time(3 * ms)) {
+		t.Error("down inside the only span")
+	}
+	for _, at := range []simclock.Duration{4 * ms, 5 * ms, simclock.Second} {
+		if tl.UpAt(simclock.Time(at)) {
+			t.Errorf("up at %v past an un-recovered End", at)
+		}
+	}
+}
+
+// TestTimelineConstants: AlwaysUp serves at every instant including 0,
+// NeverUp at none.
+func TestTimelineConstants(t *testing.T) {
+	for _, at := range []simclock.Time{0, simclock.Time(ms), simclock.Time(simclock.Second)} {
+		if !AlwaysUp().UpAt(at) {
+			t.Errorf("AlwaysUp down at %v", at)
+		}
+		if NeverUp().UpAt(at) {
+			t.Errorf("NeverUp up at %v", at)
+		}
+	}
+}
+
+// TestBackendAliveAtOffset: a backend's timeline is relative to its
+// admission instant, and an un-admitted backend is never alive.
+func TestBackendAliveAtOffset(t *testing.T) {
+	tl := Timeline{
+		Up:      []Interval{{From: simclock.Time(1 * ms), To: simclock.Time(3 * ms)}},
+		End:     simclock.Time(3 * ms),
+		UpAfter: false,
+	}
+	b := NewBackend("late", tl)
+	if b.aliveAt(simclock.Time(2 * ms)) {
+		t.Error("alive before admission")
+	}
+	b.start = simclock.Time(10 * ms)
+	b.admitted = true
+	cases := []struct {
+		at   simclock.Duration
+		want bool
+	}{
+		{9 * ms, false},  // before the backend joined
+		{10 * ms, false}, // joined, local time 0: span not open yet
+		{11 * ms, true},  // local 1ms: span open (inclusive edge)
+		{13 * ms, false}, // local 3ms: exclusive right edge
+	}
+	for _, c := range cases {
+		if got := b.aliveAt(simclock.Time(c.at)); got != c.want {
+			t.Errorf("aliveAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}

@@ -61,11 +61,11 @@ func (f *Fleet) startUpgrade(now simclock.Time) {
 // last target it drains the surge instance and ends the rollout.
 func (f *Fleet) upgradeStep(targets []*Backend, surge *Backend, i int, now simclock.Time) {
 	if i >= len(targets) {
-		f.drain(surge, now, func(simclock.Time) { f.upgraded = true })
+		f.drain(surge, f.plan.DrainTimeout, now, func(simclock.Time) { f.upgraded = true })
 		return
 	}
 	old := targets[i]
-	f.drain(old, now, func(t simclock.Time) {
+	f.drain(old, f.plan.DrainTimeout, now, func(t simclock.Time) {
 		delay := f.plan.rebuildTime(i) + f.plan.BootTime
 		f.schedule(t.Add(delay), func(t2 simclock.Time) {
 			f.admit(NewBackend(fmt.Sprintf("%s+v2", old.Name), f.plan.replacement(i)), t2)
@@ -75,8 +75,9 @@ func (f *Fleet) upgradeStep(targets []*Backend, surge *Backend, i int, now simcl
 }
 
 // drain takes b out of the dispatch rotation, waits for its in-flight
-// requests (bounded by DrainTimeout), then retires it and runs done.
-func (f *Fleet) drain(b *Backend, now simclock.Time, done func(now simclock.Time)) {
+// requests (bounded by timeout), then retires it and runs done (which
+// may be nil: autoscaler scale-downs need no continuation).
+func (f *Fleet) drain(b *Backend, timeout simclock.Duration, now simclock.Time, done func(now simclock.Time)) {
 	b.draining = true
 	b.onRetired = done
 	f.noteActive()
@@ -84,7 +85,7 @@ func (f *Fleet) drain(b *Backend, now simclock.Time, done func(now simclock.Time
 		f.retire(b, now)
 		return
 	}
-	f.schedule(now.Add(f.plan.DrainTimeout), func(t simclock.Time) {
+	f.schedule(now.Add(timeout), func(t simclock.Time) {
 		if !b.retired {
 			f.retire(b, t) // drain timeout: abandon stragglers
 		}

@@ -1,0 +1,67 @@
+package guest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lupine/internal/simclock"
+)
+
+// State is the externally visible machine state a snapshot captures: the
+// post-init subsystem tables (process, VFS, network) plus the memory
+// accounting that determines what a restored clone must map back in. It
+// is a pure value — rendering it is deterministic, so it can feed a
+// content address.
+type State struct {
+	Procs     int   // live (non-dead) processes
+	VFSNodes  int   // vnodes reachable from the root, synthetic mounts included
+	Listeners int   // bound stream listeners in the loopback namespace
+	DgramEPs  int   // bound datagram endpoints
+	MemUsed   int64 // resident bytes: the base RSS a restore maps back in
+	MemLimit  int64 // configured guest RAM
+	Now       simclock.Time
+	Stats     Stats
+}
+
+// State walks the kernel's subsystem tables and returns the capture.
+func (k *Kernel) State() State {
+	return State{
+		Procs:     k.alive,
+		VFSNodes:  countVnodes(k.vfs.root),
+		Listeners: len(k.net.listeners),
+		DgramEPs:  len(k.net.dgramEPs),
+		MemUsed:   k.memUsed,
+		MemLimit:  k.memLimit,
+		Now:       k.Now(),
+		Stats:     k.stats,
+	}
+}
+
+func countVnodes(v *vnode) int {
+	if v == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range v.children {
+		n += countVnodes(c)
+	}
+	return n
+}
+
+// Digest renders the state as one canonical line (sorted, fixed field
+// order), the form the snapshot plane hashes into a content address.
+func (s State) Digest() string {
+	fields := []string{
+		fmt.Sprintf("procs=%d", s.Procs),
+		fmt.Sprintf("vnodes=%d", s.VFSNodes),
+		fmt.Sprintf("listeners=%d", s.Listeners),
+		fmt.Sprintf("dgram=%d", s.DgramEPs),
+		fmt.Sprintf("rss=%d", s.MemUsed),
+		fmt.Sprintf("limit=%d", s.MemLimit),
+		fmt.Sprintf("now=%d", int64(s.Now)),
+		fmt.Sprintf("stats=%s", s.Stats.String()),
+	}
+	sort.Strings(fields)
+	return strings.Join(fields, " ")
+}

@@ -43,10 +43,14 @@ func trimFloat(v float64) string {
 // Percent formats a 0..1 ratio as a percentage cell.
 func Percent(ratio float64) string { return trimFloat(ratio*100) + "%" }
 
-// Percentile returns the p-th percentile (0 < p <= 100) of samples by the
-// nearest-rank method, the convention latency SLOs use: the value below
-// which p percent of samples fall, always an observed sample. It sorts a
-// copy; an empty input returns 0.
+// Percentile returns the p-th percentile of samples by the nearest-rank
+// method, the convention latency SLOs use: the smallest observed sample
+// whose rank covers p percent of the population. There is NO
+// interpolation — the result is always one of the samples, never a value
+// between two of them. Edge rule: rank = ceil(p/100 * n), clamped to
+// [1, n], so p <= 0 yields the minimum, p = 100 (or anything above)
+// yields the maximum, a single sample answers every p, and an empty
+// input returns 0. It sorts a copy; the input is never reordered.
 func Percentile(samples []int64, p float64) int64 {
 	if len(samples) == 0 {
 		return 0

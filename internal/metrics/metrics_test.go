@@ -120,3 +120,34 @@ func TestPercentileNearestRank(t *testing.T) {
 		t.Errorf("Percentile mutated its input: %v", in)
 	}
 }
+
+// TestPercentileEdges pins the documented edge rule: no interpolation,
+// rank clamped to [1, n], so out-of-range p degrades to min/max instead
+// of panicking, and degenerate inputs have defined answers.
+func TestPercentileEdges(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []int64
+		p       float64
+		want    int64
+	}{
+		{"empty", nil, 50, 0},
+		{"empty p0", []int64{}, 0, 0},
+		{"single p0", []int64{7}, 0, 7},
+		{"single p50", []int64{7}, 50, 7},
+		{"single p100", []int64{7}, 100, 7},
+		{"p0 is the minimum", []int64{30, 10, 20}, 0, 10},
+		{"negative p clamps to minimum", []int64{30, 10, 20}, -5, 10},
+		{"p100 is the maximum", []int64{30, 10, 20}, 100, 30},
+		{"p above 100 clamps to maximum", []int64{30, 10, 20}, 250, 30},
+		{"tiny p still yields a sample", []int64{30, 10, 20}, 0.001, 10},
+		{"no interpolation between samples", []int64{10, 20}, 50, 10},
+		{"p just past a rank boundary", []int64{10, 20}, 50.1, 20},
+		{"duplicates", []int64{5, 5, 5, 5}, 99, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(c.samples, c.p); got != c.want {
+			t.Errorf("%s: Percentile(%v, %v) = %d, want %d", c.name, c.samples, c.p, got, c.want)
+		}
+	}
+}

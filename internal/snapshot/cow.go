@@ -1,0 +1,70 @@
+package snapshot
+
+// Copy-on-write page accounting: restored clones map the snapshot's
+// memory file shared, so the base RSS is charged once per host no matter
+// how many clones run; each clone pays only for the pages it dirties.
+// This is what makes snapshot scale-out cheaper than N cold boots in
+// aggregate memory, not just in time-to-capacity.
+
+const pageSize = 4096
+
+// CloneSet tracks one snapshot's base pages and every clone restored
+// from it.
+type CloneSet struct {
+	base   int64 // shared resident bytes, charged once
+	clones []*Clone
+}
+
+// NewCloneSet starts accounting over a base RSS (rounded up to pages).
+func NewCloneSet(baseRSS int64) *CloneSet {
+	return &CloneSet{base: roundPages(baseRSS)}
+}
+
+// Clone is one restored VM's private page accounting.
+type Clone struct {
+	set   *CloneSet
+	dirty int64
+}
+
+// Clone registers a new restored VM sharing the base pages.
+func (cs *CloneSet) Clone() *Clone {
+	c := &Clone{set: cs}
+	cs.clones = append(cs.clones, c)
+	return c
+}
+
+// Touch dirties n bytes (page-granular): the clone now owns private
+// copies of those pages.
+func (c *Clone) Touch(n int64) {
+	if n > 0 {
+		c.dirty += roundPages(n)
+	}
+}
+
+// Dirty reports the clone's private resident bytes.
+func (c *Clone) Dirty() int64 { return c.dirty }
+
+// RSS is what this clone is charged: its dirty pages only — the base is
+// shared with every sibling.
+func (c *Clone) RSS() int64 { return c.dirty }
+
+// Clones reports how many clones share the base.
+func (cs *CloneSet) Clones() int { return len(cs.clones) }
+
+// SharedBase reports the base resident bytes charged once for the set.
+func (cs *CloneSet) SharedBase() int64 { return cs.base }
+
+// AggregateRSS is the host-side truth: the shared base plus every
+// clone's dirty pages. Compare against Clones() x coldRSS to price what
+// copy-on-write saves.
+func (cs *CloneSet) AggregateRSS() int64 {
+	total := cs.base
+	for _, c := range cs.clones {
+		total += c.dirty
+	}
+	return total
+}
+
+func roundPages(n int64) int64 {
+	return (n + pageSize - 1) / pageSize * pageSize
+}

@@ -1,0 +1,67 @@
+package snapshot
+
+import "sync"
+
+// Store caches snapshots content-addressed by kernel identity and
+// monitor, the way core.KernelCache shares kernel images: a fleet running
+// many VMs of the same specialized kernel needs exactly one snapshot, and
+// every scale-out restore after the first capture is a cache hit — the
+// MultiK observation applied to warm state instead of build artifacts.
+type Store struct {
+	mu       sync.Mutex
+	snaps    map[string]*Snapshot
+	captures int
+	hits     int
+	misses   int
+}
+
+// NewStore returns an empty snapshot store.
+func NewStore() *Store {
+	return &Store{snaps: make(map[string]*Snapshot)}
+}
+
+func storeKey(kernel, monitor string) string { return kernel + "@" + monitor }
+
+// Put caches a captured snapshot, replacing any previous capture of the
+// same kernel under the same monitor.
+func (st *Store) Put(s *Snapshot) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.captures++
+	st.snaps[storeKey(s.Kernel, s.Monitor)] = s
+}
+
+// Get looks up the snapshot for a kernel identity under a monitor.
+func (st *Store) Get(kernel, monitor string) (*Snapshot, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.snaps[storeKey(kernel, monitor)]
+	if ok {
+		st.hits++
+	} else {
+		st.misses++
+	}
+	return s, ok
+}
+
+// GetOrCapture returns the cached snapshot or captures one through the
+// callback and caches it. The callback runs outside the lock-free fast
+// path only on a miss, so N identical kernels pay one capture.
+func (st *Store) GetOrCapture(kernel, monitor string, capture func() (*Snapshot, error)) (*Snapshot, error) {
+	if s, ok := st.Get(kernel, monitor); ok {
+		return s, nil
+	}
+	s, err := capture()
+	if err != nil {
+		return nil, err
+	}
+	st.Put(s)
+	return s, nil
+}
+
+// Stats reports captures stored and lookup hits/misses.
+func (st *Store) Stats() (captures, hits, misses int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.captures, st.hits, st.misses
+}

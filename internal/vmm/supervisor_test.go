@@ -190,3 +190,61 @@ func TestNoRestartPolicy(t *testing.T) {
 		t.Error("recovered = true, want false")
 	}
 }
+
+// TestRunWithRestore: the first attempt cold boots, every restart goes
+// through the restore path — microsecond recovery instead of a full
+// boot — and a nil restore degrades to the plain Run loop.
+func TestRunWithRestore(t *testing.T) {
+	const us = simclock.Microsecond
+	cold := Attempt{Outcome: OutcomePanic, Ready: true, ReadyAfter: 20 * ms, Ran: 25 * ms}
+	policy := RestartPolicy{MaxRestarts: 2, Backoff: 1 * ms}
+
+	var coldCalls, restoreCalls int
+	rep := NewSupervisor(policy).RunWithRestore(
+		func(attempt int) Attempt {
+			coldCalls++
+			if attempt != 1 {
+				t.Errorf("cold boot used for attempt %d", attempt)
+			}
+			return cold
+		},
+		func(attempt int) Attempt {
+			restoreCalls++
+			if attempt < 2 {
+				t.Errorf("restore used for attempt %d", attempt)
+			}
+			out := Outcome(OutcomePanic)
+			if attempt == 3 {
+				out = OutcomeOK
+			}
+			return Attempt{Outcome: out, Ready: true, ReadyAfter: 200 * us, Ran: 5 * ms}
+		},
+	)
+	if coldCalls != 1 || restoreCalls != 2 {
+		t.Fatalf("cold=%d restore=%d calls, want 1 and 2", coldCalls, restoreCalls)
+	}
+	if !rep.Recovered || rep.Restarts() != 2 {
+		t.Fatalf("recovered=%v restarts=%d, want recovery after 2 restarts", rep.Recovered, rep.Restarts())
+	}
+	// Recovery samples: the restart downtimes are restore-sized (backoff +
+	// 200µs), far below the cold ReadyAfter.
+	if len(rep.RecoverySamples) != 3 {
+		t.Fatalf("recovery samples = %d, want 3", len(rep.RecoverySamples))
+	}
+	for _, s := range rep.RecoverySamples[1:] {
+		if want := 1*ms + 200*us; s != want {
+			t.Errorf("restore recovery = %v, want backoff+restore = %v", s, want)
+		}
+	}
+	if rep.RecoverySamples[0] != cold.ReadyAfter {
+		t.Errorf("first recovery = %v, want the cold boot's %v", rep.RecoverySamples[0], cold.ReadyAfter)
+	}
+
+	// Nil restore: identical to Run.
+	crash := Attempt{Outcome: OutcomePanic, Ready: true, ReadyAfter: 2 * ms, Ran: 5 * ms}
+	a := NewSupervisor(policy).RunWithRestore(scripted(t, []Attempt{crash, crash, crash}), nil)
+	b := NewSupervisor(policy).Run(scripted(t, []Attempt{crash, crash, crash}))
+	if a.End != b.End || a.Restarts() != b.Restarts() || a.Uptime != b.Uptime {
+		t.Errorf("RunWithRestore(nil) diverged from Run: %+v vs %+v", a, b)
+	}
+}

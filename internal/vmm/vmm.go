@@ -43,6 +43,7 @@ type Monitor struct {
 	LoadRatePerMB simclock.Duration // guest image load + decompress, per MB
 	Bus           Bus
 	BootsLinux    bool // unikernel monitors cannot boot Linux (§6.2)
+	Snapshots     bool // supports snapshot/restore of a running guest
 	MaxVCPUs      int
 }
 
@@ -55,6 +56,7 @@ func Firecracker() *Monitor {
 		LoadRatePerMB: 200 * simclock.Microsecond,
 		Bus:           BusMMIO,
 		BootsLinux:    true,
+		Snapshots:     true, // Firecracker's snapshot/restore API
 		MaxVCPUs:      32,
 	}
 }
@@ -68,6 +70,7 @@ func QEMU() *Monitor {
 		LoadRatePerMB: 350 * simclock.Microsecond,
 		Bus:           BusPCI,
 		BootsLinux:    true,
+		Snapshots:     true, // savevm/migrate-to-file
 		MaxVCPUs:      255,
 	}
 }

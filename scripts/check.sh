@@ -19,4 +19,11 @@ go vet ./...
 echo "== go test -race"
 go test -race ./...
 
+# The concurrency-sensitive planes (fleet event engine, supervisor,
+# snapshot store) get a second racing pass with fresh test binaries:
+# -count=2 defeats result caching and shakes out run-to-run
+# nondeterminism the bit-for-bit replay guarantees forbid.
+echo "== go test -race -count=2 (fleet, vmm, snapshot)"
+go test -race -count=2 ./internal/fleet/... ./internal/vmm/... ./internal/snapshot/...
+
 echo "== ok"
