@@ -1,0 +1,473 @@
+package experiments
+
+// The memstorm experiment: host memory overcommit under a dirty-page
+// growth storm. The paper's Fig. 5 argument is that a Linux in unikernel
+// clothing keeps the *mechanisms* general-purpose kernels use to degrade
+// gracefully — so when a host overcommits memory 2x and every clone's
+// working set grows at once, a lupine+mp snapshot pool has a graded
+// ladder to climb (balloon reclaim of clean pages, eviction of cold
+// snapshot artifacts, admission shed, and at worst a deterministic OOM
+// kill restarted via restore in microseconds), while a libos comparator
+// exposes no balloon, no evictable artifacts and no restore path: its
+// host's only lever is the OOM killer, and every kill costs a full cold
+// boot — the crash-loop the unikernel-security survey predicts.
+
+import (
+	"fmt"
+
+	"lupine/internal/core"
+	"lupine/internal/faults"
+	"lupine/internal/fleet"
+	"lupine/internal/guest"
+	"lupine/internal/hostmem"
+	"lupine/internal/libos"
+	"lupine/internal/metrics"
+	"lupine/internal/simclock"
+	"lupine/internal/snapshot"
+	"lupine/internal/vmm"
+)
+
+func init() {
+	register("memstorm", "Memory pressure: graded degradation ladder under a 2x overcommit storm (robustness)", runMemStorm)
+}
+
+// Pool shape and storm calibration. The host capacity is derived from
+// the pool's own measured baseline so the experiment tracks the cost
+// model: the quiet pool sits at memBaselineFrac of capacity, and the
+// storm's committed demand totals memOvercommit x capacity.
+const (
+	memPoolClones   = 3    // restored clones beside the origin VM
+	memLibosMembers = 4    // same pool size for the comparators
+	memBaselineFrac = 0.55 // quiet-pool residency as a fraction of capacity
+	memOvercommit   = 2.0  // committed demand relative to capacity
+	memCleanFrac    = 0.45 // share of each clone's growth that is clean page cache
+
+	memTickEvery = 250 * simclock.Microsecond
+)
+
+// Storm window in fleet virtual time: it covers most of the traffic so
+// degraded pools cannot hide behind a quiet tail.
+const (
+	memStormFrom = simclock.Time(5 * simclock.Millisecond)
+	memStormTo   = simclock.Time(65 * simclock.Millisecond)
+)
+
+// memConfig shapes traffic so a full pool is comfortably sufficient but
+// one missing member is not: losing a backend for a cold-boot window
+// backs the queue up, which is how an OOM crash-loop becomes visible as
+// unavailability.
+func memConfig() fleet.Config {
+	const us = simclock.Microsecond
+	cfg := fleet.DefaultConfig()
+	cfg.Seed = chaosSeed
+	cfg.Requests = 3000
+	cfg.Interarrival = 25 * us
+	cfg.ArrivalJitter = 10 * us
+	cfg.ServiceTime = 300 * us
+	cfg.TrafficStart = simclock.Time(simclock.Millisecond)
+	return cfg
+}
+
+// memStallPlan arms the reclaim path's own failure modes: probabilistic
+// reclaim stalls during the storm and a wedged balloon on the first
+// deflate attempt.
+func memStallPlan() faults.Plan {
+	return faults.Plan{
+		Seed: chaosSeed ^ 0x9D2F,
+		Rules: []faults.Rule{
+			{Site: hostmem.SiteReclaimStall, NthHit: 1},
+			{Site: hostmem.SiteReclaimStall, From: memStormFrom, To: memStormTo, Prob: 0.2, Limit: 10},
+			{Site: guest.SiteBalloonDeflateFail, NthHit: 1},
+		},
+	}
+}
+
+// memResult is one table row plus what the tests assert on.
+type memResult struct {
+	System   string
+	Ladder   bool // graded ladder wired (balloon, evict, shed, restore)
+	Capacity int64
+	Res      fleet.Result
+}
+
+// memPool is the MemoryPlane of a lupine snapshot pool: the accountant
+// charges the origin's host RSS, the snapshot store's resident artifacts
+// and the clone set's private pages; the ladder reclaims through the
+// balloon and the store, sheds at full pressure, and OOM-kills the
+// newest clone with a restore-path replacement.
+type memPool struct {
+	f      *fleet.Fleet
+	g      *guest.Kernel
+	cs     *snapshot.CloneSet
+	store  *snapshot.Store
+	pin    string
+	acct   *hostmem.Accountant
+	ladder *hostmem.Ladder
+	clones []*snapshot.Clone
+
+	restoreReady               simclock.Duration
+	dirtyPerTick, cleanPerTick int64
+	deflateFails               int
+}
+
+func (p *memPool) charge() int64 {
+	return p.g.HostRSS() + p.store.Resident() + p.cs.PrivateRSS()
+}
+
+func (p *memPool) hooks() hostmem.Hooks {
+	return hostmem.Hooks{
+		Balloon: func(need int64, _ simclock.Time) int64 {
+			freed := p.g.BalloonInflate(need)
+			if freed < need {
+				freed += p.cs.ReclaimClean(need - freed)
+			}
+			return freed
+		},
+		Evict: func(need int64, _ simclock.Time) int64 {
+			return p.store.EvictCold(need, p.pin)
+		},
+		Kill: func(now simclock.Time) int64 {
+			if p.f == nil || p.cs.Active() == 0 {
+				return 0
+			}
+			before := p.cs.PrivateRSS()
+			nc := p.cs.Clone()
+			victim := p.f.OOMKill(&fleet.Launch{
+				Ready:     p.restoreReady,
+				Restored:  true,
+				OnRetired: func(simclock.Time) { nc.Release() },
+			}, now)
+			if victim == nil {
+				nc.Release()
+				return 0
+			}
+			p.clones = append(p.clones, nc)
+			if freed := before - p.cs.PrivateRSS(); freed > 0 {
+				return freed
+			}
+			return 0
+		},
+		Deflate: func(allowance int64, now simclock.Time) int64 {
+			got, err := p.g.BalloonDeflate(allowance, now)
+			if err != nil {
+				p.deflateFails++
+				return 0
+			}
+			return got
+		},
+	}
+}
+
+func (p *memPool) Tick(f *fleet.Fleet, now simclock.Time) {
+	p.f = f
+	if now >= memStormFrom && now < memStormTo {
+		for _, c := range p.clones {
+			if !c.Released() {
+				c.Touch(p.dirtyPerTick)
+				c.Cache(p.cleanPerTick)
+			}
+		}
+	}
+	p.acct.Set("pool", p.charge(), now)
+	p.ladder.Respond(now)
+	p.acct.Set("pool", p.charge(), now)
+}
+
+func (p *memPool) ShedAdmission(simclock.Time) bool { return p.ladder.Shedding() }
+
+func (p *memPool) Finish(end simclock.Time) fleet.MemStats {
+	p.acct.Sync(end)
+	st := p.ladder.Stats()
+	return fleet.MemStats{
+		Capacity:         p.acct.Capacity(),
+		Committed:        p.acct.Committed(),
+		PeakUsed:         p.acct.Peak(),
+		BalloonReclaimed: st.BalloonReclaimed,
+		Evicted:          st.Evicted,
+		Deflated:         st.Deflated,
+		Kills:            st.Kills,
+		KilledBytes:      st.KilledBytes,
+		ReclaimStalls:    st.ReclaimStalls,
+		DeflateFails:     p.deflateFails,
+		PressureSome:     p.acct.PressureTime(hostmem.LevelSome),
+		PressureFull:     p.acct.PressureTime(hostmem.LevelFull),
+		Transitions:      p.acct.Transitions(),
+	}
+}
+
+// memCrash is the MemoryPlane of a libos comparator pool: every member
+// is an opaque unikernel at full footprint, nothing is reclaimable, and
+// the only response to physical overage is the host OOM killer — each
+// kill aborts a member outright and its replacement pays a full cold
+// boot, during which the shrunken pool backs up.
+type memCrash struct {
+	acct      *hostmem.Accountant
+	footprint int64
+	coldBoot  simclock.Duration
+	perTick   int64
+
+	priv        []int64 // live members' storm growth, admission order
+	pending     []simclock.Time
+	aborts      int
+	killedBytes int64
+}
+
+func (p *memCrash) charge() int64 {
+	total := int64(len(p.priv)) * p.footprint
+	for _, v := range p.priv {
+		total += v
+	}
+	return total
+}
+
+func (p *memCrash) Tick(f *fleet.Fleet, now simclock.Time) {
+	keep := p.pending[:0]
+	for _, t := range p.pending {
+		if t <= now {
+			p.priv = append(p.priv, 0) // replacement finished its cold boot
+		} else {
+			keep = append(keep, t)
+		}
+	}
+	p.pending = keep
+	if now >= memStormFrom && now < memStormTo {
+		for i := range p.priv {
+			p.priv[i] += p.perTick
+		}
+	}
+	p.acct.Set("pool", p.charge(), now)
+	if p.acct.Overage() > 0 && len(p.priv) > 0 {
+		if victim := f.OOMKill(&fleet.Launch{Ready: p.coldBoot}, now); victim != nil {
+			n := len(p.priv) - 1
+			p.killedBytes += p.footprint + p.priv[n]
+			p.priv = p.priv[:n]
+			p.aborts++
+			p.pending = append(p.pending, now.Add(p.coldBoot))
+			p.acct.Set("pool", p.charge(), now)
+		}
+	}
+}
+
+func (p *memCrash) ShedAdmission(simclock.Time) bool { return false }
+
+func (p *memCrash) Finish(end simclock.Time) fleet.MemStats {
+	p.acct.Sync(end)
+	return fleet.MemStats{
+		Capacity:     p.acct.Capacity(),
+		Committed:    p.acct.Committed(),
+		PeakUsed:     p.acct.Peak(),
+		Aborts:       p.aborts,
+		KilledBytes:  p.killedBytes,
+		PressureSome: p.acct.PressureTime(hostmem.LevelSome),
+		PressureFull: p.acct.PressureTime(hostmem.LevelFull),
+		Transitions:  p.acct.Transitions(),
+	}
+}
+
+// memTicks is the number of storm control ticks.
+func memTicks() int64 { return int64(memStormTo.Sub(memStormFrom) / memTickEvery) }
+
+// pageAlign rounds down to whole pages so storm growth composes with the
+// page-granular Touch/Cache accounting without rounding inflation.
+func pageAlign(n int64) int64 { return n / 4096 * 4096 }
+
+// runMemLadderPool runs one lupine+mp snapshot pool through the storm.
+// The caller supplies the origin unikernel (booted fresh per variant so
+// balloon state starts clean), the cold artifacts that populate the
+// store, and an optional injector arming reclaim-stall/deflate-fail.
+func runMemLadderPool(name string, u *core.Unikernel, artifacts []*snapshot.Snapshot, inj *faults.Injector) (memResult, error) {
+	out := memResult{System: name, Ladder: true}
+	mon := vmm.Firecracker()
+	vm, err := u.Boot(core.BootOpts{Monitor: mon, ProbeOnly: true, Faults: inj})
+	if err != nil {
+		return out, err
+	}
+	if err := vm.Run(); err != nil {
+		return out, err
+	}
+	snap, err := snapshot.Capture(u.Kernel, mon, vm.Boot, vm.Guest)
+	if err != nil {
+		return out, err
+	}
+
+	store := snapshot.NewStore()
+	for _, a := range artifacts {
+		store.Put(a)
+	}
+	store.Put(snap)
+	cs := snapshot.NewCloneSet(snap.BaseRSS)
+
+	p := &memPool{
+		g:            vm.Guest,
+		cs:           cs,
+		store:        store,
+		pin:          snapshot.Key(snap.Kernel, snap.Monitor),
+		restoreReady: snap.RestoreCost(),
+	}
+
+	// Calibrate the storm from the measured baseline: capacity puts the
+	// quiet pool at memBaselineFrac, and the clones' committed growth
+	// brings total demand to memOvercommit x capacity.
+	baseline := p.charge()
+	capacity := pageAlign(int64(float64(baseline) / memBaselineFrac))
+	growth := int64(memOvercommit*float64(capacity)) - baseline
+	perClone := growth / memPoolClones
+	perTick := pageAlign(perClone / memTicks())
+	p.cleanPerTick = pageAlign(int64(memCleanFrac * float64(perTick)))
+	p.dirtyPerTick = perTick - p.cleanPerTick
+
+	// FullFrac 0.95: a pool that can reclaim and restore in microseconds
+	// only refuses work in the last 5% before physical exhaustion — the
+	// shed rung is a narrow band, not the default posture.
+	p.acct = hostmem.New(hostmem.Config{Capacity: capacity, Overcommit: memOvercommit, FullFrac: 0.95})
+	p.acct.Commit(baseline)
+	p.ladder = hostmem.NewLadder(p.acct, inj, p.hooks())
+
+	backends := []*fleet.Backend{fleet.NewBackend("origin", fleet.AlwaysUp())}
+	for i := 0; i < memPoolClones; i++ {
+		if !p.acct.Commit(perClone) {
+			return out, fmt.Errorf("memstorm: clone %d refused admission under %gx overcommit", i, memOvercommit)
+		}
+		c := cs.Clone()
+		p.clones = append(p.clones, c)
+		b := fleet.NewBackend(fmt.Sprintf("clone%d", i), fleet.AlwaysUp())
+		b.SetOnRelease(func(simclock.Time) { c.Release() })
+		backends = append(backends, b)
+	}
+
+	f := fleet.New(memConfig(), backends, nil, nil)
+	f.AttachMemory(p, memTickEvery)
+	out.Res = f.Run()
+	out.Capacity = capacity
+	return out, nil
+}
+
+// runMemCrashPool runs one libos comparator pool through the same storm
+// shape, scaled to its own footprint.
+func runMemCrashPool(s *libos.System) (memResult, error) {
+	out := memResult{System: s.Name}
+	coldBoot := 10 * simclock.Millisecond
+	if bt, err := s.BootTime("redis"); err == nil {
+		coldBoot = bt
+	}
+	footprint := int64(64 * guest.MiB)
+	if fp, err := s.MemoryFootprint("redis"); err == nil {
+		footprint = fp
+	}
+
+	baseline := memLibosMembers * footprint
+	capacity := pageAlign(int64(float64(baseline) / memBaselineFrac))
+	growth := int64(memOvercommit*float64(capacity)) - baseline
+	perMember := growth / memLibosMembers
+
+	p := &memCrash{
+		footprint: footprint,
+		coldBoot:  coldBoot,
+		perTick:   pageAlign(perMember / memTicks()),
+	}
+	p.acct = hostmem.New(hostmem.Config{Capacity: capacity, Overcommit: memOvercommit})
+	p.acct.Commit(baseline)
+	var backends []*fleet.Backend
+	for i := 0; i < memLibosMembers; i++ {
+		p.acct.Commit(perMember)
+		p.priv = append(p.priv, 0)
+		backends = append(backends, fleet.NewBackend(fmt.Sprintf("vm%d", i), fleet.AlwaysUp()))
+	}
+	p.priv = p.priv[:memLibosMembers] // storm growth slots, one per member
+
+	f := fleet.New(memConfig(), backends, nil, nil)
+	f.AttachMemory(p, memTickEvery)
+	out.Res = f.Run()
+	out.Capacity = capacity
+	return out, nil
+}
+
+// runMemStormPools executes the full comparison and returns the raw
+// results (the test entry point; runMemStorm renders them).
+func runMemStormPools() ([]memResult, error) {
+	spec, _, err := appSpec("redis")
+	if err != nil {
+		return nil, err
+	}
+	ump, err := core.Build(db(), spec, core.BuildOpts{ExtraOptions: []string{"MULTIPROCESS"}})
+	if err != nil {
+		return nil, fmt.Errorf("memstorm: building lupine+mp: %w", err)
+	}
+	// Cold artifacts shared across variants: snapshots of other kernels
+	// resident in the store — exactly the reclaimable mass the eviction
+	// rung exists for.
+	var artifacts []*snapshot.Snapshot
+	for _, build := range []func() (*core.Unikernel, error){
+		func() (*core.Unikernel, error) { return core.BuildGeneral(db(), spec, true) },
+		func() (*core.Unikernel, error) { return core.BuildMicroVM(db(), spec) },
+	} {
+		u, err := build()
+		if err != nil {
+			return nil, fmt.Errorf("memstorm: building cold artifact: %w", err)
+		}
+		snap, _, _, err := surgeCapture(u)
+		if err != nil {
+			return nil, fmt.Errorf("memstorm: capturing cold artifact: %w", err)
+		}
+		artifacts = append(artifacts, snap)
+	}
+
+	var out []memResult
+	hero, err := runMemLadderPool("lupine+mp", ump, artifacts, nil)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, hero)
+
+	stall, err := runMemLadderPool("lupine+mp/stall", ump, artifacts, faults.MustNew(memStallPlan()))
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, stall)
+
+	for _, s := range libos.All() {
+		r, err := runMemCrashPool(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func runMemStorm() (fmt.Stringer, error) {
+	results, err := runMemStormPools()
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title: fmt.Sprintf("memory-pressure ladder under a %gx overcommit storm (seed %d, %d members/pool)",
+			memOvercommit, chaosSeed, memPoolClones+1),
+		Columns: []string{"system", "capacity (MiB)", "peak used", "P-some (ms)", "P-full (ms)",
+			"balloon (MiB)", "evict (MiB)", "mem-shed", "kills", "aborts", "stalls", "availability"},
+	}
+	for _, r := range results {
+		m := r.Res.Mem
+		t.AddRow(
+			r.System,
+			trim1(float64(r.Capacity)/float64(guest.MiB)),
+			metrics.Percent(float64(m.PeakUsed)/float64(r.Capacity)),
+			trim1(m.PressureSome.Milliseconds()),
+			trim1(m.PressureFull.Milliseconds()),
+			trim1(float64(m.BalloonReclaimed)/float64(guest.MiB)),
+			trim1(float64(m.Evicted)/float64(guest.MiB)),
+			r.Res.MemSheds,
+			m.Kills,
+			m.Aborts,
+			m.ReclaimStalls,
+			metrics.Percent(r.Res.Availability()),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"every pool is committed to 2x its host capacity; the storm converts commitments into resident dirty pages mid-traffic",
+		"lupine+mp climbs the graded ladder: balloon reclaim of clean pages, LRU eviction of cold snapshot artifacts, admission shed at full pressure, and at worst an OOM kill whose replacement restores from snapshot in microseconds",
+		"the stall row arms hostmem/reclaim-stall and balloon/deflate-fail: wedged reclaim deepens pressure and costs extra sheds or kills",
+		"libos comparators expose no balloon, no evictable artifacts and no restore path: physical overage goes straight to the host OOM killer, and every abort pays a full cold boot while the shrunken pool backs up",
+	)
+	return t, nil
+}

@@ -153,12 +153,21 @@ func runSurgeVariant(name string, snap *snapshot.Snapshot, faulty bool, coldBoot
 			return fleet.Launch{Ready: coldBoot, Timeline: timeline()}
 		}
 		rr := snap.Restore(mon, sinj, now, coldBoot)
-		if rr.Restored {
-			cs.Clone().Touch(surgeDirtyBytes)
-		} else {
+		if !rr.Restored {
 			res.Fallbacks++
+			return fleet.Launch{Ready: rr.Ready, Timeline: timeline()}
 		}
-		return fleet.Launch{Ready: rr.Ready, Restored: rr.Restored, Timeline: timeline()}
+		// The clone's private pages live exactly as long as its backend:
+		// LIFO scale-down drains release them, so AggregateRSS reflects
+		// the pool that is actually running, not every clone ever made.
+		c := cs.Clone()
+		c.Touch(surgeDirtyBytes)
+		return fleet.Launch{
+			Ready:     rr.Ready,
+			Restored:  true,
+			Timeline:  timeline(),
+			OnRetired: func(simclock.Time) { c.Release() },
+		}
 	}
 
 	cfg := surgeConfig()

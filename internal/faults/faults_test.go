@@ -170,3 +170,71 @@ func TestStreamDeterministicAndSeedSensitive(t *testing.T) {
 		}
 	}
 }
+
+// TestNthHitAndProbabilityCombine pins how deterministic and
+// probabilistic triggers compose on the SAME site: every matching rule
+// counts every hit, probabilistic rules draw from the stream on every
+// in-window hit whether or not another rule already fired, and the
+// lowest-indexed triggering rule wins the decision. Seed 1 is chosen so
+// the Prob rule's trigger pattern (hits 4, 5, 9, ...) avoids the NthHit
+// rule's hit 3 — the two rules fire on disjoint hits and the combined
+// sequence is exactly their union, limit applied to wins only.
+func TestNthHitAndProbabilityCombine(t *testing.T) {
+	// Reference: the probabilistic rule alone.
+	ref := MustNew(Plan{Seed: 1, Rules: []Rule{
+		{Site: "test/alpha", Prob: 0.5, Limit: 2, Param: 2},
+	}})
+	var refFires []int
+	for hit := 1; hit <= 20; hit++ {
+		if ref.Hit("test/alpha", 0).Fire {
+			refFires = append(refFires, hit)
+		}
+	}
+	if len(refFires) != 2 || refFires[0] != 4 || refFires[1] != 5 {
+		t.Fatalf("reference prob rule fired on hits %v, want [4 5] (seed drifted?)", refFires)
+	}
+
+	// Combined: an NthHit rule ahead of the same prob rule. NthHit rules
+	// never draw from the stream, so the prob rule sees the identical draw
+	// sequence and fires on the identical hits.
+	inj := MustNew(Plan{Seed: 1, Rules: []Rule{
+		{Site: "test/alpha", NthHit: 3, Param: 1},
+		{Site: "test/alpha", Prob: 0.5, Limit: 2, Param: 2},
+	}})
+	want := map[int]int64{3: 1, 4: 2, 5: 2} // hit -> winning Param
+	for hit := 1; hit <= 20; hit++ {
+		d := inj.Hit("test/alpha", 0)
+		if p, ok := want[hit]; ok {
+			if !d.Fire || d.Param != p {
+				t.Errorf("hit %d: got fire=%v param=%d, want param %d", hit, d.Fire, d.Param, p)
+			}
+		} else if d.Fire {
+			t.Errorf("hit %d fired unexpectedly (param %d)", hit, d.Param)
+		}
+	}
+	if inj.TotalFired() != 3 || inj.FiredAt("test/alpha") != 3 {
+		t.Errorf("total=%d site=%d, want 3 fires", inj.TotalFired(), inj.FiredAt("test/alpha"))
+	}
+}
+
+// TestSuppressedNthHitIsLostNotDeferred: when an earlier rule wins the
+// hit an NthHit rule would have fired on, the nth-hit trigger is
+// consumed, not deferred — the rule's state is a pure function of the
+// hit sequence, so replay stays bit-exact.
+func TestSuppressedNthHitIsLostNotDeferred(t *testing.T) {
+	inj := MustNew(Plan{Rules: []Rule{
+		{Site: "test/alpha", Prob: 1.0, Limit: 1, Param: 9},
+		{Site: "test/alpha", NthHit: 1, Param: 8},
+	}})
+	if d := inj.Hit("test/alpha", 0); !d.Fire || d.Param != 9 || d.Rule != 0 {
+		t.Fatalf("first hit: got %+v, want the prob rule (param 9) to win", d)
+	}
+	for i := 0; i < 5; i++ {
+		if d := inj.Hit("test/alpha", 0); d.Fire {
+			t.Fatalf("hit %d fired (param %d): suppressed nth-hit must not defer", i+2, d.Param)
+		}
+	}
+	if inj.TotalFired() != 1 {
+		t.Errorf("total fired %d, want 1", inj.TotalFired())
+	}
+}

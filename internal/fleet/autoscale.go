@@ -19,6 +19,12 @@ type Launch struct {
 	Ready    simclock.Duration // provisioning latency before the backend joins
 	Restored bool              // true: snapshot restore; false: cold boot (fallbacks included)
 	Timeline Timeline          // service record once admitted; zero value means AlwaysUp
+
+	// OnRetired runs once when the backend leaves the pool for good —
+	// scale-down drain, OOM kill, or upgrade. Provision hooks use it to
+	// release the backing snapshot.Clone so the CoW aggregate stops
+	// charging for pages whose VM is gone.
+	OnRetired func(now simclock.Time)
 }
 
 // AutoscalePolicy tunes the autoscaler. All durations are virtual.
@@ -113,7 +119,9 @@ func (f *Fleet) launch(now simclock.Time) {
 	f.scalePending++
 	f.schedule(now.Add(l.Ready), func(t simclock.Time) {
 		f.scalePending--
-		f.admit(NewBackend(fmt.Sprintf("auto%d", seq), launchTimeline(l)), t)
+		nb := NewBackend(fmt.Sprintf("auto%d", seq), launchTimeline(l))
+		nb.onRelease = l.OnRetired
+		f.admit(nb, t)
 		if l.Restored {
 			f.res.Restores++
 		} else {

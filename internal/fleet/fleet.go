@@ -144,6 +144,12 @@ type Result struct {
 	PeakActive int           // most structurally active backends at any instant
 	FullAt     simclock.Time // first instant the pool reached Max (-1 = never)
 
+	// Memory-pressure accounting (zero unless a MemoryPlane was
+	// attached). MemSheds counts arrivals refused by the pressure
+	// ladder's shed rung; they are also counted in Shed.
+	MemSheds int
+	Mem      MemStats
+
 	// Latencies holds arrival-to-completion times of served requests, in
 	// arrival order.
 	Latencies []simclock.Duration
@@ -241,6 +247,9 @@ type Fleet struct {
 	upReadyAt    simclock.Time
 	downReadyAt  simclock.Time
 
+	mem      MemoryPlane // nil: no memory-pressure plane attached
+	memEvery simclock.Duration
+
 	resolved int
 	res      Result
 }
@@ -296,12 +305,18 @@ func (f *Fleet) Run() Result {
 	if f.scaler != nil {
 		f.schedule(simclock.Time(f.scaler.Evaluate), f.autoscaleTick)
 	}
+	if f.mem != nil {
+		f.schedule(simclock.Time(f.memEvery), f.memTick)
+	}
 	for f.events.Len() > 0 {
 		e := heap.Pop(&f.events).(*event)
 		f.clk.AdvanceTo(e.at)
 		e.fn(e.at)
 	}
 	f.res.End = f.clk.Now()
+	if f.mem != nil {
+		f.res.Mem = f.mem.Finish(f.res.End)
+	}
 	return f.res
 }
 
@@ -361,9 +376,16 @@ func (f *Fleet) pick(now simclock.Time) *Backend {
 	return nil
 }
 
-// admitRequest is the admission-control gate: dispatch if a backend has
-// capacity, queue while the bounded queue has room, shed otherwise.
+// admitRequest is the admission-control gate: refuse outright while the
+// memory-pressure ladder sheds, dispatch if a backend has capacity,
+// queue while the bounded queue has room, shed otherwise.
 func (f *Fleet) admitRequest(r *request, now simclock.Time) {
+	if f.mem != nil && r.attempts == 0 && f.mem.ShedAdmission(now) {
+		f.res.Shed++
+		f.res.MemSheds++
+		f.resolved++
+		return
+	}
 	if b := f.pick(now); b != nil {
 		f.send(r, b, now)
 		return

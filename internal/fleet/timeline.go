@@ -83,6 +83,12 @@ type Backend struct {
 	// onRetired, when set by the upgrade orchestrator, runs once when
 	// this backend leaves the pool for good.
 	onRetired func(now simclock.Time)
+
+	// onRelease is the resource-release hook (snapshot clone pages,
+	// accountant charges), also fired once at retirement. It is a
+	// separate slot because drain() repurposes onRetired as its
+	// continuation, which would silently drop a release callback.
+	onRelease func(now simclock.Time)
 }
 
 // NewBackend wraps a timeline as a pool member. The breaker is attached
@@ -94,6 +100,11 @@ func NewBackend(name string, tl Timeline) *Backend {
 // Breaker exposes the backend's breaker (nil before admission), so tests
 // and tables can read the transition timeline.
 func (b *Backend) Breaker() *Breaker { return b.breaker }
+
+// SetOnRelease registers fn to run once when the backend leaves the pool
+// for good, however it leaves (drain, OOM kill, upgrade). Pools built
+// over snapshot clones release the clone's private pages here.
+func (b *Backend) SetOnRelease(fn func(now simclock.Time)) { b.onRelease = fn }
 
 // Served and Failed report per-backend request outcomes.
 func (b *Backend) Served() int { return b.served }

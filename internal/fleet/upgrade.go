@@ -107,6 +107,10 @@ func (f *Fleet) retire(b *Backend, now simclock.Time) {
 	}
 	b.retired = true
 	f.noteActive()
+	if cb := b.onRelease; cb != nil {
+		b.onRelease = nil
+		cb(now)
+	}
 	if cb := b.onRetired; cb != nil {
 		b.onRetired = nil
 		cb(now)

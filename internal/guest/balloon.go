@@ -1,0 +1,67 @@
+package guest
+
+import (
+	"fmt"
+
+	"lupine/internal/faults"
+	"lupine/internal/simclock"
+)
+
+// SiteBalloonDeflateFail models a wedged virtio-balloon device: the host
+// asks for pages back but the guest driver never acknowledges, so the
+// ballooned frames stay unavailable to the guest.
+var SiteBalloonDeflateFail = faults.RegisterSite("balloon/deflate-fail",
+	"balloon", "a balloon deflate request is never acknowledged by the guest driver")
+
+// BalloonReclaimable reports the clean resident bytes an inflate could
+// still drop without guest cooperation.
+func (k *Kernel) BalloonReclaimable() int64 { return k.cleanCache }
+
+// Ballooned reports the bytes the balloon currently holds away from the
+// guest.
+func (k *Kernel) Ballooned() int64 { return k.ballooned }
+
+// HostRSS reports the guest's host-resident footprint: everything the
+// guest has committed minus what the balloon has handed back to the
+// host. This — not MemUsed — is what a host memory accountant charges.
+func (k *Kernel) HostRSS() int64 { return k.memUsed - k.ballooned }
+
+// BalloonInflate is the host asking for up to n bytes back. The device
+// drops clean page-cache frames (they re-fault from the image file later)
+// and reports how many bytes the host actually reclaimed. Guest memory
+// accounting is unchanged — the pages are still charged to the guest —
+// but HostRSS shrinks by the returned amount.
+func (k *Kernel) BalloonInflate(n int64) int64 {
+	if n <= 0 || k.cleanCache == 0 {
+		return 0
+	}
+	take := ((n + pageSize - 1) / pageSize) * pageSize
+	if take > k.cleanCache {
+		take = k.cleanCache
+	}
+	k.cleanCache -= take
+	k.ballooned += take
+	return take
+}
+
+// BalloonDeflate is the host returning up to n ballooned bytes to the
+// guest's free pool once pressure has cleared, restoring headroom for
+// future allocations. HostRSS is unchanged at the instant of deflate —
+// the frames are free, not resident — and grows back only as the guest
+// commits memory again. The balloon/deflate-fail site models the device
+// wedging: nothing moves and the error surfaces to the caller.
+func (k *Kernel) BalloonDeflate(n int64, now simclock.Time) (int64, error) {
+	if n <= 0 || k.ballooned == 0 {
+		return 0, nil
+	}
+	if d := k.inj.Hit(SiteBalloonDeflateFail, now); d.Fire {
+		return 0, fmt.Errorf("balloon: deflate not acknowledged (rule %d)", d.Rule)
+	}
+	give := ((n + pageSize - 1) / pageSize) * pageSize
+	if give > k.ballooned {
+		give = k.ballooned
+	}
+	k.ballooned -= give
+	k.memFree(give)
+	return give, nil
+}

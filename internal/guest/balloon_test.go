@@ -1,0 +1,122 @@
+package guest
+
+import (
+	"testing"
+
+	"lupine/internal/faults"
+)
+
+func TestBalloonInflateDropsCleanCache(t *testing.T) {
+	k := newTestKernel(t, "lupine-base")
+
+	clean := k.BalloonReclaimable()
+	if clean <= 0 {
+		t.Fatal("fresh kernel has no reclaimable clean cache")
+	}
+	if clean%pageSize != 0 {
+		t.Errorf("clean cache %d not page-aligned", clean)
+	}
+	used, host := k.MemUsed(), k.HostRSS()
+	if used != host {
+		t.Fatalf("MemUsed %d != HostRSS %d before any ballooning", used, host)
+	}
+
+	got := k.BalloonInflate(10 * pageSize)
+	if got != 10*pageSize {
+		t.Fatalf("inflate reclaimed %d, want %d", got, 10*pageSize)
+	}
+	if k.MemUsed() != used {
+		t.Errorf("inflate changed guest MemUsed: %d -> %d", used, k.MemUsed())
+	}
+	if k.HostRSS() != host-got {
+		t.Errorf("HostRSS %d, want %d", k.HostRSS(), host-got)
+	}
+	if k.Ballooned() != got {
+		t.Errorf("Ballooned %d, want %d", k.Ballooned(), got)
+	}
+
+	// Asking for more than remains caps at the clean cache.
+	rest := k.BalloonReclaimable()
+	if got := k.BalloonInflate(rest + 100*pageSize); got != rest {
+		t.Errorf("over-ask reclaimed %d, want the remaining %d", got, rest)
+	}
+	if k.BalloonReclaimable() != 0 {
+		t.Errorf("clean cache %d after full inflate, want 0", k.BalloonReclaimable())
+	}
+	if k.BalloonInflate(pageSize) != 0 {
+		t.Error("inflate with empty clean cache reclaimed bytes")
+	}
+}
+
+func TestBalloonDeflateReturnsHeadroom(t *testing.T) {
+	k := newTestKernel(t, "lupine-base")
+	took := k.BalloonInflate(8 * pageSize)
+	used, host := k.MemUsed(), k.HostRSS()
+
+	give, err := k.BalloonDeflate(3*pageSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if give != 3*pageSize {
+		t.Fatalf("deflate returned %d, want %d", give, 3*pageSize)
+	}
+	// The frames return to the guest free pool: guest usage drops, the
+	// host-resident footprint is unchanged at the instant of deflate.
+	if k.MemUsed() != used-give {
+		t.Errorf("MemUsed %d, want %d", k.MemUsed(), used-give)
+	}
+	if k.HostRSS() != host {
+		t.Errorf("deflate moved HostRSS: %d -> %d", host, k.HostRSS())
+	}
+	if k.Ballooned() != took-give {
+		t.Errorf("Ballooned %d, want %d", k.Ballooned(), took-give)
+	}
+
+	// Deflating more than is ballooned caps; an empty balloon is a no-op.
+	if give, _ := k.BalloonDeflate(100*pageSize, 0); give != took-3*pageSize {
+		t.Errorf("over-deflate returned %d, want %d", give, took-3*pageSize)
+	}
+	if give, err := k.BalloonDeflate(pageSize, 0); give != 0 || err != nil {
+		t.Errorf("empty-balloon deflate: give=%d err=%v", give, err)
+	}
+}
+
+func TestBalloonDeflateFailSite(t *testing.T) {
+	inj := faults.MustNew(faults.Plan{Seed: 7, Rules: []faults.Rule{
+		{Site: SiteBalloonDeflateFail, NthHit: 1},
+	}})
+	img := buildImage(t, "lupine-base")
+	k, err := NewKernel(Params{Image: img, RootFS: testRootFS(), Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.BalloonInflate(4 * pageSize)
+	ballooned := k.Ballooned()
+
+	give, err := k.BalloonDeflate(2*pageSize, 0)
+	if err == nil {
+		t.Fatal("armed deflate-fail did not error")
+	}
+	if give != 0 || k.Ballooned() != ballooned {
+		t.Errorf("failed deflate moved pages: give=%d ballooned=%d->%d", give, ballooned, k.Ballooned())
+	}
+
+	// The device recovers on the next request (NthHit=1 fired already).
+	if give, err := k.BalloonDeflate(2*pageSize, 0); err != nil || give != 2*pageSize {
+		t.Errorf("post-fault deflate: give=%d err=%v", give, err)
+	}
+}
+
+func TestStateDigestTracksBalloon(t *testing.T) {
+	k := newTestKernel(t, "lupine-base")
+	before := k.State().Digest()
+	k.BalloonInflate(pageSize)
+	after := k.State().Digest()
+	if before == after {
+		t.Error("digest unchanged by ballooning — snapshots would collide")
+	}
+	st := k.State()
+	if st.Ballooned != pageSize {
+		t.Errorf("State.Ballooned %d, want %d", st.Ballooned, pageSize)
+	}
+}

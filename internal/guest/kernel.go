@@ -68,6 +68,13 @@ type Kernel struct {
 	memUsed  int64
 	memPeak  int64
 
+	// Balloon accounting (balloon.go): cleanCache is the resident clean
+	// page cache the balloon can drop without guest cooperation (kernel
+	// text and read-only data re-loadable from the image file);
+	// ballooned is what the device currently holds away from the guest.
+	cleanCache int64
+	ballooned  int64
+
 	console bytes.Buffer
 
 	vfs     *vfs
@@ -129,6 +136,10 @@ func NewKernel(p Params) (*Kernel, error) {
 	}
 	k.memUsed = static
 	k.memPeak = static
+	// The loaded image is clean file-backed memory: droppable under
+	// pressure, re-faultable from the image afterwards. Page-align down
+	// so balloon accounting stays page-granular.
+	k.cleanCache = (p.Image.Size / pageSize) * pageSize
 	k.vfs = newVFS(k, p.RootFS)
 	k.net = newNetStack(k)
 	return k, nil

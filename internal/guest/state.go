@@ -20,6 +20,8 @@ type State struct {
 	DgramEPs  int   // bound datagram endpoints
 	MemUsed   int64 // resident bytes: the base RSS a restore maps back in
 	MemLimit  int64 // configured guest RAM
+	Clean     int64 // clean page-cache bytes the balloon could still drop
+	Ballooned int64 // bytes the balloon currently holds away from the guest
 	Now       simclock.Time
 	Stats     Stats
 }
@@ -33,6 +35,8 @@ func (k *Kernel) State() State {
 		DgramEPs:  len(k.net.dgramEPs),
 		MemUsed:   k.memUsed,
 		MemLimit:  k.memLimit,
+		Clean:     k.cleanCache,
+		Ballooned: k.ballooned,
 		Now:       k.Now(),
 		Stats:     k.stats,
 	}
@@ -59,6 +63,8 @@ func (s State) Digest() string {
 		fmt.Sprintf("dgram=%d", s.DgramEPs),
 		fmt.Sprintf("rss=%d", s.MemUsed),
 		fmt.Sprintf("limit=%d", s.MemLimit),
+		fmt.Sprintf("clean=%d", s.Clean),
+		fmt.Sprintf("ballooned=%d", s.Ballooned),
 		fmt.Sprintf("now=%d", int64(s.Now)),
 		fmt.Sprintf("stats=%s", s.Stats.String()),
 	}

@@ -1,5 +1,7 @@
 package snapshot
 
+import "sort"
+
 // Copy-on-write page accounting: restored clones map the snapshot's
 // memory file shared, so the base RSS is charged once per host no matter
 // how many clones run; each clone pays only for the pages it dirties.
@@ -11,8 +13,9 @@ const pageSize = 4096
 // CloneSet tracks one snapshot's base pages and every clone restored
 // from it.
 type CloneSet struct {
-	base   int64 // shared resident bytes, charged once
-	clones []*Clone
+	base     int64 // shared resident bytes, charged once
+	clones   []*Clone
+	released int
 }
 
 // NewCloneSet starts accounting over a base RSS (rounded up to pages).
@@ -20,10 +23,15 @@ func NewCloneSet(baseRSS int64) *CloneSet {
 	return &CloneSet{base: roundPages(baseRSS)}
 }
 
-// Clone is one restored VM's private page accounting.
+// Clone is one restored VM's private page accounting. Private pages come
+// in two kinds: dirty (anonymous writes, unreclaimable short of killing
+// the clone) and clean (private page cache the balloon can drop and
+// re-fault later).
 type Clone struct {
-	set   *CloneSet
-	dirty int64
+	set      *CloneSet
+	dirty    int64
+	clean    int64
+	released bool
 }
 
 // Clone registers a new restored VM sharing the base pages.
@@ -34,35 +42,116 @@ func (cs *CloneSet) Clone() *Clone {
 }
 
 // Touch dirties n bytes (page-granular): the clone now owns private
-// copies of those pages.
+// copies of those pages. Released clones no longer own pages to dirty.
 func (c *Clone) Touch(n int64) {
-	if n > 0 {
+	if n > 0 && !c.released {
 		c.dirty += roundPages(n)
 	}
 }
 
-// Dirty reports the clone's private resident bytes.
+// Cache adds n bytes (page-granular) of private clean page cache —
+// resident, but droppable under pressure via Reclaim.
+func (c *Clone) Cache(n int64) {
+	if n > 0 && !c.released {
+		c.clean += roundPages(n)
+	}
+}
+
+// Reclaim drops up to n bytes of the clone's clean pages (balloon-style)
+// and reports how many bytes were actually freed.
+func (c *Clone) Reclaim(n int64) int64 {
+	if n <= 0 || c.released {
+		return 0
+	}
+	got := roundPages(n)
+	if got > c.clean {
+		got = c.clean
+	}
+	c.clean -= got
+	return got
+}
+
+// Release returns the clone's private pages to the host when its VM is
+// drained or killed, and reports the bytes freed. It is idempotent; a
+// released clone stops counting toward AggregateRSS, which otherwise
+// grows monotonically as fleets scale up and down.
+func (c *Clone) Release() int64 {
+	if c.released {
+		return 0
+	}
+	freed := c.dirty + c.clean
+	c.dirty, c.clean = 0, 0
+	c.released = true
+	c.set.released++
+	return freed
+}
+
+// Released reports whether the clone's VM is gone and its pages freed.
+func (c *Clone) Released() bool { return c.released }
+
+// Dirty reports the clone's private dirty (unreclaimable) bytes.
 func (c *Clone) Dirty() int64 { return c.dirty }
 
-// RSS is what this clone is charged: its dirty pages only — the base is
-// shared with every sibling.
-func (c *Clone) RSS() int64 { return c.dirty }
+// Clean reports the clone's private clean (reclaimable) bytes.
+func (c *Clone) Clean() int64 { return c.clean }
 
-// Clones reports how many clones share the base.
+// RSS is what this clone is charged: its private pages only — the base
+// is shared with every sibling.
+func (c *Clone) RSS() int64 { return c.dirty + c.clean }
+
+// Clones reports how many clones were ever restored from the base.
 func (cs *CloneSet) Clones() int { return len(cs.clones) }
+
+// Active reports how many clones still hold private pages (not released).
+func (cs *CloneSet) Active() int { return len(cs.clones) - cs.released }
 
 // SharedBase reports the base resident bytes charged once for the set.
 func (cs *CloneSet) SharedBase() int64 { return cs.base }
 
-// AggregateRSS is the host-side truth: the shared base plus every
-// clone's dirty pages. Compare against Clones() x coldRSS to price what
-// copy-on-write saves.
-func (cs *CloneSet) AggregateRSS() int64 {
-	total := cs.base
+// PrivateRSS sums the live clones' private bytes — the part of the
+// aggregate that is not the shared base.
+func (cs *CloneSet) PrivateRSS() int64 {
+	var total int64
 	for _, c := range cs.clones {
-		total += c.dirty
+		total += c.dirty + c.clean
 	}
 	return total
+}
+
+// CleanRSS sums the live clones' reclaimable clean bytes.
+func (cs *CloneSet) CleanRSS() int64 {
+	var total int64
+	for _, c := range cs.clones {
+		total += c.clean
+	}
+	return total
+}
+
+// ReclaimClean drops up to n bytes of clean pages across the set,
+// largest holders first (deterministic: ties break on clone age), and
+// reports the bytes freed — the CoW-plane half of a balloon pass.
+func (cs *CloneSet) ReclaimClean(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	order := make([]*Clone, len(cs.clones))
+	copy(order, cs.clones)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].clean > order[j].clean })
+	var freed int64
+	for _, c := range order {
+		if freed >= n {
+			break
+		}
+		freed += c.Reclaim(n - freed)
+	}
+	return freed
+}
+
+// AggregateRSS is the host-side truth: the shared base plus every live
+// clone's private pages. Compare against Clones() x coldRSS to price
+// what copy-on-write saves.
+func (cs *CloneSet) AggregateRSS() int64 {
+	return cs.base + cs.PrivateRSS()
 }
 
 func roundPages(n int64) int64 {

@@ -292,3 +292,112 @@ func TestStoreCaptureError(t *testing.T) {
 		t.Errorf("failed capture was stored: %d captures", captures)
 	}
 }
+
+// TestCloneRelease: the PR-3 accounting leak — drained clones must stop
+// counting toward the aggregate, or scale-up/scale-down cycles grow RSS
+// monotonically.
+func TestCloneRelease(t *testing.T) {
+	cs := NewCloneSet(int64(10 * guest.MiB))
+	a := cs.Clone()
+	b := cs.Clone()
+	a.Touch(2 * guest.MiB)
+	a.Cache(1 * guest.MiB)
+	b.Touch(4 * guest.MiB)
+
+	before := cs.AggregateRSS()
+	freed := a.Release()
+	if want := int64(3 * guest.MiB); freed != want {
+		t.Errorf("Release freed %d, want %d", freed, want)
+	}
+	if got := cs.AggregateRSS(); got != before-freed {
+		t.Errorf("AggregateRSS %d after release, want %d", got, before-freed)
+	}
+	if !a.Released() || a.RSS() != 0 {
+		t.Errorf("released clone still charged: released=%v rss=%d", a.Released(), a.RSS())
+	}
+	if cs.Active() != 1 || cs.Clones() != 2 {
+		t.Errorf("Active=%d Clones=%d, want 1/2", cs.Active(), cs.Clones())
+	}
+	// Idempotent, and a released clone cannot grow again.
+	if freed := a.Release(); freed != 0 {
+		t.Errorf("double Release freed %d", freed)
+	}
+	a.Touch(guest.MiB)
+	a.Cache(guest.MiB)
+	if a.RSS() != 0 {
+		t.Errorf("released clone accepted new pages: %d", a.RSS())
+	}
+}
+
+// TestCloneReclaim: clean pages drop under balloon pressure, dirty pages
+// do not; ReclaimClean drains the largest holders first deterministically.
+func TestCloneReclaim(t *testing.T) {
+	cs := NewCloneSet(int64(10 * guest.MiB))
+	a := cs.Clone()
+	a.Touch(2 * guest.MiB)
+	a.Cache(3 * guest.MiB)
+	b := cs.Clone()
+	b.Cache(1 * guest.MiB)
+
+	if got := a.Reclaim(guest.MiB); got != guest.MiB {
+		t.Errorf("Reclaim freed %d, want %d", got, guest.MiB)
+	}
+	if a.Clean() != 2*guest.MiB || a.Dirty() != 2*guest.MiB {
+		t.Errorf("after reclaim clean=%d dirty=%d", a.Clean(), a.Dirty())
+	}
+	// Set-wide: need 4MiB, have 3MiB clean left (2 on a, 1 on b).
+	if got := cs.ReclaimClean(4 * guest.MiB); got != 3*guest.MiB {
+		t.Errorf("ReclaimClean freed %d, want %d", got, 3*guest.MiB)
+	}
+	if cs.CleanRSS() != 0 {
+		t.Errorf("CleanRSS %d after full reclaim", cs.CleanRSS())
+	}
+	// Dirty pages survived: they are not reclaimable.
+	if cs.PrivateRSS() != 2*guest.MiB {
+		t.Errorf("PrivateRSS %d, want the dirty 2MiB", cs.PrivateRSS())
+	}
+}
+
+// TestStoreEviction: under pressure the store drops LRU artifacts but
+// never a pinned (actively mapped) one, with deterministic ordering and
+// eviction accounting.
+func TestStoreEviction(t *testing.T) {
+	st := NewStore()
+	mk := func(kernel string, rss int64) *Snapshot {
+		return &Snapshot{Kernel: kernel, Monitor: "firecracker", BaseRSS: rss}
+	}
+	st.Put(mk("a", 10*guest.MiB))
+	st.Put(mk("b", 20*guest.MiB))
+	st.Put(mk("c", 30*guest.MiB))
+	if got := st.Resident(); got != 60*guest.MiB {
+		t.Fatalf("Resident %d, want %d", got, 60*guest.MiB)
+	}
+
+	// Touch "a" so "b" becomes the coldest.
+	st.Get("a", "firecracker")
+
+	// Need 15MiB with "c" pinned: evicts "b" (coldest, 20MiB) and stops.
+	freed := st.EvictCold(15*guest.MiB, Key("c", "firecracker"))
+	if freed != 20*guest.MiB {
+		t.Errorf("EvictCold freed %d, want %d", freed, 20*guest.MiB)
+	}
+	if _, ok := st.Get("b", "firecracker"); ok {
+		t.Error("evicted artifact still cached")
+	}
+	if _, ok := st.Get("c", "firecracker"); !ok {
+		t.Error("pinned artifact was evicted")
+	}
+
+	// Demanding more than everything evictable frees all but the pin.
+	freed = st.EvictCold(1<<40, Key("c", "firecracker"))
+	if freed != 10*guest.MiB {
+		t.Errorf("full eviction freed %d, want %d", freed, 10*guest.MiB)
+	}
+	if got := st.Resident(); got != 30*guest.MiB {
+		t.Errorf("Resident %d after eviction, want the pinned 30MiB", got)
+	}
+	count, bytes := st.Evictions()
+	if count != 2 || bytes != 30*guest.MiB {
+		t.Errorf("Evictions = (%d, %d), want (2, %d)", count, bytes, 30*guest.MiB)
+	}
+}

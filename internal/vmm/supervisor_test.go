@@ -248,3 +248,125 @@ func TestRunWithRestore(t *testing.T) {
 		t.Errorf("RunWithRestore(nil) diverged from Run: %+v vs %+v", a, b)
 	}
 }
+
+// TestRunWithRestoreInterleaving is the table-driven pin on the restore
+// restart path: the first attempt always cold boots, every restart goes
+// through restore, and the policy treats restore restarts exactly like
+// cold ones — same backoff schedule, same MaxRestarts budget, same
+// crash-loop accounting — even when restore attempts themselves fall
+// back to cold boots mid-sequence.
+func TestRunWithRestoreInterleaving(t *testing.T) {
+	ok := Attempt{Outcome: OutcomeOK, Ready: true, ReadyAfter: 1 * ms, Ran: 5 * ms}
+	panicUp := Attempt{Outcome: OutcomePanic, Ready: true, ReadyAfter: 1 * ms, Ran: 5 * ms}
+	// A restore that found a corrupt snapshot and fell back to a cold
+	// boot inside the attempt: slower ready, still a panic later.
+	fallback := Attempt{Outcome: OutcomePanic, Ready: true, ReadyAfter: 12 * ms, Ran: 20 * ms}
+	doa := Attempt{Outcome: OutcomeBootFail, Ran: 2 * ms}
+
+	cases := []struct {
+		name       string
+		policy     RestartPolicy
+		seq        []Attempt // indexed by global attempt number
+		nilRestore bool
+
+		wantPaths     []string
+		wantBackoffs  []simclock.Duration
+		wantRecovered bool
+		wantCrashLoop bool
+	}{
+		{
+			name:          "restore recovers on first restart",
+			policy:        RestartPolicy{MaxRestarts: 3, Backoff: 10 * ms, BackoffFactor: 2},
+			seq:           []Attempt{panicUp, ok},
+			wantPaths:     []string{"cold", "restore"},
+			wantBackoffs:  []simclock.Duration{0, 10 * ms},
+			wantRecovered: true,
+		},
+		{
+			name:          "fallback interleaves with clean restore",
+			policy:        RestartPolicy{MaxRestarts: 3, Backoff: 10 * ms, BackoffFactor: 2},
+			seq:           []Attempt{panicUp, fallback, ok},
+			wantPaths:     []string{"cold", "restore", "restore"},
+			wantBackoffs:  []simclock.Duration{0, 10 * ms, 20 * ms},
+			wantRecovered: true,
+		},
+		{
+			name:          "restore DOAs trip the crash-loop budget",
+			policy:        RestartPolicy{MaxRestarts: 9, Backoff: 1 * ms, CrashLoopBudget: 3},
+			seq:           []Attempt{doa, doa, doa},
+			wantPaths:     []string{"cold", "restore", "restore"},
+			wantBackoffs:  []simclock.Duration{0, 1 * ms, 1 * ms},
+			wantCrashLoop: true,
+		},
+		{
+			name:         "restore restarts exhaust MaxRestarts like cold ones",
+			policy:       RestartPolicy{MaxRestarts: 2, Backoff: 5 * ms},
+			seq:          []Attempt{panicUp, fallback, panicUp},
+			wantPaths:    []string{"cold", "restore", "restore"},
+			wantBackoffs: []simclock.Duration{0, 5 * ms, 5 * ms},
+		},
+		{
+			name:          "nil restore degrades to plain Run",
+			policy:        RestartPolicy{MaxRestarts: 1, Backoff: 5 * ms},
+			seq:           []Attempt{panicUp, ok},
+			nilRestore:    true,
+			wantPaths:     []string{"cold", "cold"},
+			wantBackoffs:  []simclock.Duration{0, 5 * ms},
+			wantRecovered: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var paths []string
+			pathed := func(label string) BootFn {
+				return func(attempt int) Attempt {
+					paths = append(paths, label)
+					if attempt > len(tc.seq) {
+						t.Fatalf("attempt %d beyond scripted %d", attempt, len(tc.seq))
+					}
+					return tc.seq[attempt-1]
+				}
+			}
+			restore := pathed("restore")
+			if tc.nilRestore {
+				restore = nil
+			}
+			sup := NewSupervisor(tc.policy)
+			rep := sup.RunWithRestore(pathed("cold"), restore)
+
+			if len(paths) != len(tc.wantPaths) {
+				t.Fatalf("launch paths %v, want %v", paths, tc.wantPaths)
+			}
+			for i := range paths {
+				if paths[i] != tc.wantPaths[i] {
+					t.Errorf("attempt %d took %s path, want %s", i+1, paths[i], tc.wantPaths[i])
+				}
+			}
+			for i, rec := range rep.Attempts {
+				if rec.Backoff != tc.wantBackoffs[i] {
+					t.Errorf("attempt %d backoff %v, want %v", i+1, rec.Backoff, tc.wantBackoffs[i])
+				}
+			}
+			if rep.Recovered != tc.wantRecovered || rep.CrashLoop != tc.wantCrashLoop {
+				t.Errorf("recovered=%v crashloop=%v, want %v/%v",
+					rep.Recovered, rep.CrashLoop, tc.wantRecovered, tc.wantCrashLoop)
+			}
+			if got := rep.Restarts(); got != len(tc.seq)-1 {
+				t.Errorf("restarts %d, want %d", got, len(tc.seq)-1)
+			}
+
+			// Parity: the identical attempt sequence driven through plain
+			// Run produces an identical report — the policy cannot tell
+			// restore restarts from cold ones.
+			plain := Supervise(tc.policy, scripted(t, tc.seq))
+			if plain.Stats() != rep.Stats() {
+				t.Errorf("stats diverge between Run and RunWithRestore:\nrun:     %+v\nrestore: %+v",
+					plain.Stats(), rep.Stats())
+			}
+			if plain.End != rep.End {
+				t.Errorf("timelines diverge: Run ends %v, RunWithRestore ends %v", plain.End, rep.End)
+			}
+		})
+	}
+}

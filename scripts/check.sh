@@ -20,10 +20,25 @@ echo "== go test -race"
 go test -race ./...
 
 # The concurrency-sensitive planes (fleet event engine, supervisor,
-# snapshot store) get a second racing pass with fresh test binaries:
-# -count=2 defeats result caching and shakes out run-to-run
-# nondeterminism the bit-for-bit replay guarantees forbid.
-echo "== go test -race -count=2 (fleet, vmm, snapshot)"
-go test -race -count=2 ./internal/fleet/... ./internal/vmm/... ./internal/snapshot/...
+# snapshot store, memory accountant, guest balloon) get a second racing
+# pass with fresh test binaries: -count=2 defeats result caching and
+# shakes out run-to-run nondeterminism the bit-for-bit replay guarantees
+# forbid.
+echo "== go test -race -count=2 (fleet, vmm, snapshot, hostmem, guest)"
+go test -race -count=2 ./internal/fleet/... ./internal/vmm/... ./internal/snapshot/... \
+    ./internal/hostmem/... ./internal/guest/...
+
+# Every registered fault site must surface in the operator-facing
+# catalog: the count of RegisterSite calls in non-test source must match
+# what lupine-bench -list-faults prints, or a new site shipped without
+# being discoverable.
+echo "== fault-site catalog"
+registered=$(grep -rh --include='*.go' --exclude='*_test.go' 'faults\.RegisterSite(' internal/ | wc -l)
+listed=$(go run ./cmd/lupine-bench -list-faults | wc -l)
+if [ "$registered" -ne "$listed" ]; then
+    echo "fault-site catalog mismatch: $registered RegisterSite calls in internal/, $listed listed by -list-faults" >&2
+    exit 1
+fi
+echo "   $listed sites registered and listed"
 
 echo "== ok"
