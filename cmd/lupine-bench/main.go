@@ -7,6 +7,8 @@
 //	lupine-bench -list-faults
 //	lupine-bench [-run id[,id...]]   (default: all)
 //	lupine-bench -json [-run id[,id...]]
+//	lupine-bench -run memstorm -trace-out=trace.json -metrics-out=metrics.json
+//	lupine-bench -csv=out/ [-run id[,id...]]
 package main
 
 import (
@@ -14,24 +16,42 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"lupine/internal/experiments"
 	"lupine/internal/faults"
 	"lupine/internal/metrics"
+	"lupine/internal/telemetry"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	listFaults := flag.Bool("list-faults", false, "list registered fault-injection sites")
 	run := flag.String("run", "", "comma-separated experiment ids (default all)")
-	csv := flag.Bool("csv", false, "emit tables as CSV (for plotting)")
+	csvDir := flag.String("csv", "", "write each table as <dir>/<id>.csv (for plotting)")
 	jsonOut := flag.Bool("json", false, "emit results as a JSON array (machine-readable)")
 	seed := flag.Uint64("seed", 42, "fault-storm seed for the chaos experiment")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the runs (load in Perfetto or chrome://tracing)")
+	metricsOut := flag.String("metrics-out", "", "write the telemetry metrics registry as JSON")
+	flight := flag.Bool("flight", false, "print flight-recorder crash dumps after the runs")
 	flag.Parse()
 
 	experiments.SetChaosSeed(*seed)
+
+	// The telemetry plane is off (nil) unless an output asks for it, so
+	// plain runs keep the zero-cost disabled path.
+	var tracer *telemetry.Tracer
+	var registry *telemetry.Registry
+	if *traceOut != "" || *flight {
+		tracer = telemetry.New()
+		tracer.SetFlight(telemetry.NewRecorder(0))
+	}
+	if *metricsOut != "" {
+		registry = telemetry.NewRegistry()
+	}
+	experiments.SetTelemetry(tracer, registry)
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -77,8 +97,11 @@ func main() {
 			records = append(records, newJSONRecord(e, out))
 			continue
 		}
-		if tbl, ok := out.(*metrics.Table); ok && *csv {
-			fmt.Printf("# %s\n%s\n", e.ID, tbl.CSV())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, e.ID, out); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: writing CSV: %v\n", e.ID, err)
+				failed++
+			}
 			continue
 		}
 		fmt.Printf("# %s — %s (wall %.1fs)\n\n%s\n", e.ID, e.Title,
@@ -92,9 +115,48 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *traceOut != "" {
+		b := tracer.ChromeTrace()
+		if !json.Valid(b) {
+			fmt.Fprintln(os.Stderr, "trace-out: export is not valid JSON")
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*traceOut, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		if err := os.WriteFile(*metricsOut, registry.JSON(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *flight {
+		for _, d := range tracer.Flight().Dumps() {
+			fmt.Print(d)
+		}
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeCSV lands one experiment's table (or figure) as <dir>/<id>.csv.
+func writeCSV(dir, id string, out fmt.Stringer) error {
+	var csv string
+	switch v := out.(type) {
+	case *metrics.Table:
+		csv = v.CSV()
+	case *metrics.Figure:
+		csv = v.CSV()
+	default:
+		return fmt.Errorf("result has no tabular form")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, id+".csv"), []byte(csv), 0o644)
 }
 
 // jsonRecord is one experiment's machine-readable result: tables and

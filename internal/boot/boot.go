@@ -13,6 +13,7 @@ import (
 	"lupine/internal/faults"
 	"lupine/internal/kbuild"
 	"lupine/internal/simclock"
+	"lupine/internal/telemetry"
 	"lupine/internal/vmm"
 )
 
@@ -27,6 +28,22 @@ type Phase struct {
 type Report struct {
 	Phases []Phase
 	Total  simclock.Duration
+}
+
+// Observe emits the boot timeline onto a tracer as one "boot" span with
+// a child span per phase, positioned at virtual instant base (the boot's
+// start on the owning track). Nil-tracer safe.
+func (r Report) Observe(tr *telemetry.Tracer, track string, base simclock.Time) {
+	if tr == nil || len(r.Phases) == 0 {
+		return
+	}
+	tr.Span("boot", track, "boot", base, base.Add(r.Total),
+		telemetry.A("total", r.Total.String()))
+	at := base
+	for _, ph := range r.Phases {
+		tr.Span("boot", track, ph.Name, at, at.Add(ph.Cost))
+		at = at.Add(ph.Cost)
+	}
 }
 
 // String renders the timeline.

@@ -19,6 +19,7 @@ import (
 	"lupine/internal/libos"
 	"lupine/internal/metrics"
 	"lupine/internal/simclock"
+	"lupine/internal/telemetry"
 	"lupine/internal/vmm"
 )
 
@@ -207,6 +208,10 @@ func chaosBoot(u *core.Unikernel, inj *faults.Injector, counters *[]chaosCounter
 			var be *core.BootError
 			if errors.As(err, &be) {
 				att.Ran = be.Report.Total
+				partial := be.Report
+				att.Telemetry = func(tr *telemetry.Tracer, track string, start simclock.Time) {
+					partial.Observe(tr, track, start)
+				}
 			}
 			*counters = append(*counters, c)
 			return att
@@ -220,6 +225,10 @@ func chaosBoot(u *core.Unikernel, inj *faults.Injector, counters *[]chaosCounter
 		*counters = append(*counters, c)
 
 		att := vmm.Attempt{Ran: vm.Boot.Total + simclock.Duration(vm.Guest.Now())}
+		bootRep := vm.Boot
+		att.Telemetry = func(tr *telemetry.Tracer, track string, start simclock.Time) {
+			bootRep.Observe(tr, track, start)
+		}
 		if c.readyAt >= 0 {
 			att.Ready = true
 			att.ReadyAfter = vm.Boot.Total + simclock.Duration(c.readyAt)
@@ -292,7 +301,10 @@ func runChaosStorm() ([]chaosResult, error) {
 			return nil, err
 		}
 		var counters []chaosCounters
-		rep := vmm.Supervise(chaosPolicy(), chaosBoot(u, inj, &counters))
+		inj.Observe(activeTrace, "chaos/"+r.name)
+		sup := vmm.NewSupervisor(chaosPolicy())
+		sup.Observe(activeTrace, "chaos/"+r.name)
+		rep := sup.Run(chaosBoot(u, inj, &counters))
 		res := chaosResult{
 			System:    r.name,
 			Report:    rep,
@@ -318,7 +330,9 @@ func runChaosStorm() ([]chaosResult, error) {
 			Ran:        boot + simclock.Millisecond,
 			Detail:     s.Fork().Error(),
 		}
-		rep := vmm.Supervise(vmm.RestartPolicy{}, func(int) vmm.Attempt { return crash })
+		sup := vmm.NewSupervisor(vmm.RestartPolicy{})
+		sup.Observe(activeTrace, "chaos/"+s.Name)
+		rep := sup.Run(func(int) vmm.Attempt { return crash })
 		out = append(out, chaosResult{System: s.Name, Report: rep})
 	}
 	return out, nil

@@ -109,16 +109,21 @@ type fleetChaosResult struct {
 }
 
 // fleetLinuxBackends supervises fleetPoolSize fresh VMs of u through
-// their per-backend storms and wraps the reports as pool members.
-func fleetLinuxBackends(u *core.Unikernel) ([]*fleet.Backend, error) {
+// their per-backend storms and wraps the reports as pool members. sys
+// names the telemetry track prefix for this pool's supervised boots.
+func fleetLinuxBackends(u *core.Unikernel, sys string) ([]*fleet.Backend, error) {
 	var out []*fleet.Backend
 	for i := 0; i < fleetPoolSize; i++ {
 		inj, err := faults.New(fleetBackendPlan(i))
 		if err != nil {
 			return nil, err
 		}
+		track := fmt.Sprintf("fleetchaos/%s/vm%d", sys, i)
+		inj.Observe(activeTrace, track)
 		var counters []chaosCounters
-		rep := vmm.Supervise(chaosPolicy(), chaosBoot(u, inj, &counters))
+		sup := vmm.NewSupervisor(chaosPolicy())
+		sup.Observe(activeTrace, track)
+		rep := sup.Run(chaosBoot(u, inj, &counters))
 		out = append(out, fleet.NewBackend(fmt.Sprintf("vm%d", i), fleet.FromReport(rep)))
 	}
 	return out, nil
@@ -167,7 +172,7 @@ func runFleetChaosStorm() ([]fleetChaosResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fleetchaos: building %s: %w", r.name, err)
 		}
-		backends, err := fleetLinuxBackends(u)
+		backends, err := fleetLinuxBackends(u, r.name)
 		if err != nil {
 			return nil, err
 		}
@@ -204,7 +209,9 @@ func runFleetChaosStorm() ([]fleetChaosResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		winj.Observe(activeTrace, "fleetchaos/"+r.name)
 		f := fleet.New(cfg, backends, plan, winj)
+		f.Observe(activeTrace, activeMetrics, "fleetchaos/"+r.name)
 		res := f.Run()
 		builds, hits := cache.Stats()
 		out = append(out, fleetChaosResult{
@@ -235,7 +242,9 @@ func runFleetChaosStorm() ([]fleetChaosResult, error) {
 		}
 		var backends []*fleet.Backend
 		for i := 0; i < fleetPoolSize; i++ {
-			rep := vmm.Supervise(vmm.RestartPolicy{}, func(int) vmm.Attempt { return crash })
+			sup := vmm.NewSupervisor(vmm.RestartPolicy{})
+			sup.Observe(activeTrace, fmt.Sprintf("fleetchaos/%s/vm%d", s.Name, i))
+			rep := sup.Run(func(int) vmm.Attempt { return crash })
 			backends = append(backends, fleet.NewBackend(fmt.Sprintf("vm%d", i), fleet.FromReport(rep)))
 		}
 		cfg := fleetConfig()
@@ -244,7 +253,9 @@ func runFleetChaosStorm() ([]fleetChaosResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		winj.Observe(activeTrace, "fleetchaos/"+s.Name)
 		f := fleet.New(cfg, backends, nil, winj)
+		f.Observe(activeTrace, activeMetrics, "fleetchaos/"+s.Name)
 		res := f.Run()
 		out = append(out, fleetChaosResult{System: s.Name, Res: res, Backends: f.Backends()})
 	}

@@ -24,6 +24,7 @@ import (
 	"lupine/internal/metrics"
 	"lupine/internal/simclock"
 	"lupine/internal/snapshot"
+	"lupine/internal/telemetry"
 	"lupine/internal/vmm"
 )
 
@@ -105,6 +106,11 @@ type memPool struct {
 	ladder *hostmem.Ladder
 	clones []*snapshot.Clone
 
+	tr    *telemetry.Tracer
+	track string
+	snap  *snapshot.Snapshot
+	mon   *vmm.Monitor
+
 	restoreReady               simclock.Duration
 	dirtyPerTick, cleanPerTick int64
 	deflateFails               int
@@ -142,6 +148,11 @@ func (p *memPool) hooks() hostmem.Hooks {
 				return 0
 			}
 			p.clones = append(p.clones, nc)
+			if p.tr != nil {
+				// The replacement's restore span; the nil injector keeps the
+				// real fault stream untouched (spans are decoration, not load).
+				p.snap.RestoreObserved(p.mon, nil, now, p.snap.BootTotal, p.tr, p.track+"/oom-restore")
+			}
 			if freed := before - p.cs.PrivateRSS(); freed > 0 {
 				return freed
 			}
@@ -277,13 +288,45 @@ func pageAlign(n int64) int64 { return n / 4096 * 4096 }
 // store, and an optional injector arming reclaim-stall/deflate-fail.
 func runMemLadderPool(name string, u *core.Unikernel, artifacts []*snapshot.Snapshot, inj *faults.Injector) (memResult, error) {
 	out := memResult{System: name, Ladder: true}
+	track := "memstorm/" + name
 	mon := vmm.Firecracker()
-	vm, err := u.Boot(core.BootOpts{Monitor: mon, ProbeOnly: true, Faults: inj})
-	if err != nil {
-		return out, err
-	}
-	if err := vm.Run(); err != nil {
-		return out, err
+	inj.Observe(activeTrace, track)
+
+	// The origin VM boots once under a no-restart supervisor so its boot
+	// phases and attempt land on the trace. Behavior is identical to a bare
+	// Boot+Run: the zero policy runs exactly one attempt and the injector
+	// sees the same call sequence either way.
+	var (
+		vm      *core.VM
+		bootErr error
+	)
+	sup := vmm.NewSupervisor(vmm.RestartPolicy{})
+	sup.Observe(activeTrace, track+"/origin")
+	sup.Run(func(int) vmm.Attempt {
+		v, err := u.Boot(core.BootOpts{Monitor: mon, ProbeOnly: true, Faults: inj})
+		if err != nil {
+			bootErr = err
+			return vmm.Attempt{Outcome: vmm.OutcomeBootFail, Detail: err.Error()}
+		}
+		if err := v.Run(); err != nil {
+			bootErr = err
+			return vmm.Attempt{Outcome: vmm.OutcomeHang, Detail: err.Error()}
+		}
+		vm = v
+		rep := v.Boot
+		att := vmm.Attempt{
+			Outcome:    vmm.OutcomeOK,
+			Ready:      true,
+			ReadyAfter: rep.Total,
+			Ran:        rep.Total + simclock.Duration(v.Guest.Now()),
+		}
+		att.Telemetry = func(tr *telemetry.Tracer, trk string, start simclock.Time) {
+			rep.Observe(tr, trk, start)
+		}
+		return att
+	})
+	if bootErr != nil {
+		return out, bootErr
 	}
 	snap, err := snapshot.Capture(u.Kernel, mon, vm.Boot, vm.Guest)
 	if err != nil {
@@ -303,6 +346,10 @@ func runMemLadderPool(name string, u *core.Unikernel, artifacts []*snapshot.Snap
 		store:        store,
 		pin:          snapshot.Key(snap.Kernel, snap.Monitor),
 		restoreReady: snap.RestoreCost(),
+		tr:           activeTrace,
+		track:        track,
+		snap:         snap,
+		mon:          mon,
 	}
 
 	// Calibrate the storm from the measured baseline: capacity puts the
@@ -320,13 +367,20 @@ func runMemLadderPool(name string, u *core.Unikernel, artifacts []*snapshot.Snap
 	// only refuses work in the last 5% before physical exhaustion — the
 	// shed rung is a narrow band, not the default posture.
 	p.acct = hostmem.New(hostmem.Config{Capacity: capacity, Overcommit: memOvercommit, FullFrac: 0.95})
+	p.acct.Observe(activeTrace, track)
 	p.acct.Commit(baseline)
 	p.ladder = hostmem.NewLadder(p.acct, inj, p.hooks())
+	p.ladder.Observe(activeTrace, track)
 
 	backends := []*fleet.Backend{fleet.NewBackend("origin", fleet.AlwaysUp())}
 	for i := 0; i < memPoolClones; i++ {
 		if !p.acct.Commit(perClone) {
 			return out, fmt.Errorf("memstorm: clone %d refused admission under %gx overcommit", i, memOvercommit)
+		}
+		if activeTrace != nil {
+			// Pre-provisioned clones are restores too; the nil injector keeps
+			// the real fault stream untouched.
+			snap.RestoreObserved(mon, nil, 0, snap.BootTotal, activeTrace, fmt.Sprintf("%s/clone%d", track, i))
 		}
 		c := cs.Clone()
 		p.clones = append(p.clones, c)
@@ -336,6 +390,7 @@ func runMemLadderPool(name string, u *core.Unikernel, artifacts []*snapshot.Snap
 	}
 
 	f := fleet.New(memConfig(), backends, nil, nil)
+	f.Observe(activeTrace, activeMetrics, track)
 	f.AttachMemory(p, memTickEvery)
 	out.Res = f.Run()
 	out.Capacity = capacity
@@ -366,6 +421,7 @@ func runMemCrashPool(s *libos.System) (memResult, error) {
 		perTick:   pageAlign(perMember / memTicks()),
 	}
 	p.acct = hostmem.New(hostmem.Config{Capacity: capacity, Overcommit: memOvercommit})
+	p.acct.Observe(activeTrace, "memstorm/"+s.Name)
 	p.acct.Commit(baseline)
 	var backends []*fleet.Backend
 	for i := 0; i < memLibosMembers; i++ {
@@ -376,6 +432,7 @@ func runMemCrashPool(s *libos.System) (memResult, error) {
 	p.priv = p.priv[:memLibosMembers] // storm growth slots, one per member
 
 	f := fleet.New(memConfig(), backends, nil, nil)
+	f.Observe(activeTrace, activeMetrics, "memstorm/"+s.Name)
 	f.AttachMemory(p, memTickEvery)
 	out.Res = f.Run()
 	out.Capacity = capacity

@@ -152,7 +152,7 @@ func runSurgeVariant(name string, snap *snapshot.Snapshot, faulty bool, coldBoot
 		if snap == nil {
 			return fleet.Launch{Ready: coldBoot, Timeline: timeline()}
 		}
-		rr := snap.Restore(mon, sinj, now, coldBoot)
+		rr := snap.RestoreObserved(mon, sinj, now, coldBoot, activeTrace, "surge/"+name)
 		if !rr.Restored {
 			res.Fallbacks++
 			return fleet.Launch{Ready: rr.Ready, Timeline: timeline()}
@@ -177,7 +177,11 @@ func runSurgeVariant(name string, snap *snapshot.Snapshot, faulty bool, coldBoot
 	for i := 0; i < surgeMin; i++ {
 		backends = append(backends, fleet.NewBackend(fmt.Sprintf("vm%d", i), timeline()))
 	}
+	if sinj != nil {
+		sinj.Observe(activeTrace, "surge/"+name)
+	}
 	f := fleet.NewAutoscaled(cfg, backends, surgePolicy(provision), nil, nil)
+	f.Observe(activeTrace, activeMetrics, "surge/"+name)
 	res.Res = f.Run()
 
 	// Pool memory at peak: cold instances (the initial pool and every

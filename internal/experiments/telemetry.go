@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"lupine/internal/telemetry"
+)
+
+// The harness-level telemetry plane. lupine-bench installs a tracer and
+// registry before running experiments (-trace-out / -metrics-out); when
+// both are nil — the default, and the state every unit test and
+// benchmark runs under — every experiment runs exactly as before, with
+// zero telemetry cost.
+var (
+	activeTrace   *telemetry.Tracer
+	activeMetrics *telemetry.Registry
+)
+
+// SetTelemetry installs (or, with nils, removes) the telemetry plane
+// used by subsequent experiment runs.
+func SetTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) {
+	activeTrace = tr
+	activeMetrics = reg
+}

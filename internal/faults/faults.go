@@ -12,9 +12,11 @@ package faults
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"lupine/internal/simclock"
+	"lupine/internal/telemetry"
 )
 
 // Site is one named injection point, registered by the subsystem that
@@ -164,6 +166,9 @@ type Injector struct {
 	ruleHits []int // in-window hits seen per rule
 	fired    []int // fires per rule
 	total    int
+
+	tr      *telemetry.Tracer
+	trTrack string
 }
 
 // New builds an injector for the plan, validating it first.
@@ -218,7 +223,22 @@ func (inj *Injector) Hit(site string, now simclock.Time) Decision {
 			out = Decision{Fire: true, Param: r.Param, Rule: i}
 		}
 	}
+	if out.Fire && inj.tr != nil {
+		inj.tr.Instant("faults", inj.trTrack, site, now,
+			telemetry.A("rule", strconv.Itoa(out.Rule)),
+			telemetry.A("param", strconv.FormatInt(out.Param, 10)))
+	}
 	return out
+}
+
+// Observe makes every subsequent fault firing an instant event on the
+// tracer, on the given track. Nil-safe on both sides.
+func (inj *Injector) Observe(tr *telemetry.Tracer, track string) {
+	if inj == nil || tr == nil {
+		return
+	}
+	inj.tr = tr
+	inj.trTrack = track
 }
 
 // TotalFired reports how many faults the injector has fired so far.

@@ -122,6 +122,7 @@ func (f *Fleet) launch(now simclock.Time) {
 		nb := NewBackend(fmt.Sprintf("auto%d", seq), launchTimeline(l))
 		nb.onRelease = l.OnRetired
 		f.admit(nb, t)
+		f.observeProvision(nb, now, t, l.Restored, "scale-up")
 		if l.Restored {
 			f.res.Restores++
 		} else {

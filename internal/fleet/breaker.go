@@ -66,6 +66,10 @@ type Breaker struct {
 
 	// Transitions records every state change in order.
 	Transitions []BreakerTransition
+
+	// OnTransition, when set, observes every state change as it is
+	// recorded; the telemetry plane hooks it to emit instant events.
+	OnTransition func(BreakerTransition)
 }
 
 // NewBreaker returns a closed breaker.
@@ -78,10 +82,14 @@ func (b *Breaker) State() BreakerState { return b.state }
 func (b *Breaker) ReopenAt() simclock.Time { return b.reopenAt }
 
 func (b *Breaker) transition(now simclock.Time, to BreakerState, cause string) {
-	b.Transitions = append(b.Transitions, BreakerTransition{At: now, From: b.state, To: to, Cause: cause})
+	t := BreakerTransition{At: now, From: b.state, To: to, Cause: cause}
+	b.Transitions = append(b.Transitions, t)
 	b.state = to
 	b.fails = 0
 	b.oks = 0
+	if b.OnTransition != nil {
+		b.OnTransition(t)
+	}
 }
 
 // Allow reports whether a request may be sent now. An open breaker whose

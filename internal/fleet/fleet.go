@@ -13,10 +13,12 @@ package fleet
 import (
 	"container/heap"
 	"fmt"
+	"strconv"
 
 	"lupine/internal/faults"
 	"lupine/internal/metrics"
 	"lupine/internal/simclock"
+	"lupine/internal/telemetry"
 )
 
 // Fleet-owned fault-injection sites: the front-end's own wire can fail.
@@ -250,6 +252,16 @@ type Fleet struct {
 	mem      MemoryPlane // nil: no memory-pressure plane attached
 	memEvery simclock.Duration
 
+	// Telemetry (attached via Observe; nil = disabled, zero cost).
+	tr            *telemetry.Tracer
+	trTrack       string
+	mOK           *telemetry.Counter
+	mShed         *telemetry.Counter
+	mFailed       *telemetry.Counter
+	mRetries      *telemetry.Counter
+	mBreakerOpens *telemetry.Counter
+	hLatency      *telemetry.Histogram
+
 	resolved int
 	res      Result
 }
@@ -343,6 +355,7 @@ func (f *Fleet) admit(b *Backend, now simclock.Time) {
 	b.healthy = true
 	b.breaker = NewBreaker(f.cfg.Breaker)
 	f.backends = append(f.backends, b)
+	f.observeBackend(b, now)
 	f.pump(now)
 }
 
@@ -384,6 +397,10 @@ func (f *Fleet) admitRequest(r *request, now simclock.Time) {
 		f.res.Shed++
 		f.res.MemSheds++
 		f.resolved++
+		f.mShed.Inc()
+		if f.tr != nil {
+			f.tr.Instant("fleet", f.trTrack, "shed", now, telemetry.A("reason", "mem-pressure"))
+		}
 		return
 	}
 	if b := f.pick(now); b != nil {
@@ -396,6 +413,10 @@ func (f *Fleet) admitRequest(r *request, now simclock.Time) {
 	}
 	f.res.Shed++
 	f.resolved++
+	f.mShed.Inc()
+	if f.tr != nil {
+		f.tr.Instant("fleet", f.trTrack, "shed", now, telemetry.A("reason", "queue-full"))
+	}
 }
 
 // send dispatches r to b and schedules the outcome: ground truth decides
@@ -421,7 +442,14 @@ func (f *Fleet) send(r *request, b *Backend, now simclock.Time) {
 			if f.retryTokens > f.cfg.RetryBurst {
 				f.retryTokens = f.cfg.RetryBurst
 			}
-			f.res.Latencies = append(f.res.Latencies, t.Sub(r.arrival))
+			lat := t.Sub(r.arrival)
+			f.res.Latencies = append(f.res.Latencies, lat)
+			f.mOK.Inc()
+			f.hLatency.Observe(lat)
+			if f.tr != nil {
+				f.tr.Span("fleet", f.btrack(b), "dispatch", now, t,
+					telemetry.A("req", strconv.Itoa(r.id)))
+			}
 			f.maybeDrained(b, t)
 			f.pump(t)
 		})
@@ -436,6 +464,15 @@ func (f *Fleet) send(r *request, b *Backend, now simclock.Time) {
 	f.schedule(now.Add(wait), func(t simclock.Time) {
 		b.inflight--
 		b.failed++
+		if f.tr != nil {
+			reason := "dead-backend"
+			if dropped {
+				reason = "wire-drop"
+			}
+			f.tr.Span("fleet", f.btrack(b), "dispatch-fail", now, t,
+				telemetry.A("req", strconv.Itoa(r.id)),
+				telemetry.A("reason", reason))
+		}
 		b.breaker.Failure(t)
 		if b.breaker.State() == BreakerOpen {
 			f.res.BreakerOpens++
@@ -454,6 +491,7 @@ func (f *Fleet) retry(r *request, now simclock.Time) {
 	if r.attempts > f.cfg.MaxRetries {
 		f.res.Failed++
 		f.resolved++
+		f.mFailed.Inc()
 		return
 	}
 	backoff := f.cfg.RetryBackoff
@@ -467,16 +505,32 @@ func (f *Fleet) retry(r *request, now simclock.Time) {
 		f.res.Failed++
 		f.res.DeadlineMiss++
 		f.resolved++
+		f.mFailed.Inc()
+		if f.tr != nil {
+			f.tr.Instant("fleet", f.trTrack, "deadline-miss", now,
+				telemetry.A("req", strconv.Itoa(r.id)))
+		}
 		return
 	}
 	if f.retryTokens < 1 {
 		f.res.Failed++
 		f.res.BudgetDenied++
 		f.resolved++
+		f.mFailed.Inc()
+		if f.tr != nil {
+			f.tr.Instant("fleet", f.trTrack, "budget-denied", now,
+				telemetry.A("req", strconv.Itoa(r.id)))
+		}
 		return
 	}
 	f.retryTokens--
 	f.res.Retries++
+	f.mRetries.Inc()
+	if f.tr != nil {
+		f.tr.Span("fleet", f.trTrack, "retry-backoff", now, retryAt,
+			telemetry.A("req", strconv.Itoa(r.id)),
+			telemetry.A("attempt", strconv.Itoa(r.attempts)))
+	}
 	f.schedule(retryAt, func(t simclock.Time) { f.admitRequest(r, t) })
 }
 
@@ -518,6 +572,9 @@ func (f *Fleet) probeTick(now simclock.Time) {
 			b.probeFails = 0
 			if !b.healthy && b.probeOKs >= f.cfg.ProbeRiseAfter {
 				b.healthy = true
+				if f.tr != nil {
+					f.tr.Instant("fleet", f.btrack(b), "health:up", now)
+				}
 			}
 			b.breaker.ProbeSuccess(now)
 		} else {
@@ -525,6 +582,9 @@ func (f *Fleet) probeTick(now simclock.Time) {
 			b.probeOKs = 0
 			if b.healthy && b.probeFails >= f.cfg.ProbeFailAfter {
 				b.healthy = false
+				if f.tr != nil {
+					f.tr.Instant("fleet", f.btrack(b), "health:down", now)
+				}
 			}
 			b.breaker.ProbeFailure(now)
 			if b.breaker.State() == BreakerOpen {

@@ -80,6 +80,12 @@ func (f *Fleet) OOMKill(l *Launch, now simclock.Time) *Backend {
 		return nil
 	}
 	b.healthy = false
+	if f.tr != nil {
+		// The instant lands before retirement so the victim's flight dump
+		// includes its own death mark.
+		f.tr.Instant("fleet", f.btrack(b), "oom-kill", now)
+		f.tr.Trip(f.btrack(b), "oom-kill", now)
+	}
 	f.retire(b, now)
 	if l != nil {
 		f.scaleSeq++
@@ -89,6 +95,7 @@ func (f *Fleet) OOMKill(l *Launch, now simclock.Time) *Backend {
 			nb := NewBackend(fmt.Sprintf("oom%d", seq), launchTimeline(lv))
 			nb.onRelease = lv.OnRetired
 			f.admit(nb, t)
+			f.observeProvision(nb, now, t, lv.Restored, "oom-replace")
 			if lv.Restored {
 				f.res.Restores++
 			} else {

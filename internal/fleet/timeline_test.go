@@ -56,6 +56,50 @@ func TestTimelineEndWithoutRecovery(t *testing.T) {
 	}
 }
 
+// TestTimelineDegenerateShapes is table-driven over the degenerate
+// records FromReport can legitimately produce: a zero-length ready span
+// (a VM that died the instant it came up), a recovered record with no
+// ready span at all (UpAfter with empty Up), and probes landing exactly
+// at End for both recovery outcomes.
+func TestTimelineDegenerateShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		tl   Timeline
+		at   simclock.Time
+		want bool
+	}{
+		{"zero-length span is never up at its own instant",
+			Timeline{Up: []Interval{{From: simclock.Time(2 * ms), To: simclock.Time(2 * ms)}}, End: simclock.Time(5 * ms)},
+			simclock.Time(2 * ms), false},
+		{"zero-length span leaves neighbors down",
+			Timeline{Up: []Interval{{From: simclock.Time(2 * ms), To: simclock.Time(2 * ms)}}, End: simclock.Time(5 * ms)},
+			simclock.Time(2*ms - 1), false},
+		{"UpAfter with empty Up is down inside the record",
+			Timeline{End: simclock.Time(5 * ms), UpAfter: true},
+			simclock.Time(3 * ms), false},
+		{"UpAfter with empty Up serves from End on",
+			Timeline{End: simclock.Time(5 * ms), UpAfter: true},
+			simclock.Time(5 * ms), true},
+		{"probe exactly at End: recovered record serves",
+			Timeline{Up: []Interval{{From: 0, To: simclock.Time(5 * ms)}}, End: simclock.Time(5 * ms), UpAfter: true},
+			simclock.Time(5 * ms), true},
+		{"probe exactly at End: un-recovered record is down",
+			Timeline{Up: []Interval{{From: 0, To: simclock.Time(5 * ms)}}, End: simclock.Time(5 * ms)},
+			simclock.Time(5 * ms), false},
+		{"zero End record with UpAfter serves at 0",
+			Timeline{UpAfter: true},
+			0, true},
+		{"zero End record without UpAfter is down at 0",
+			Timeline{},
+			0, false},
+	}
+	for _, c := range cases {
+		if got := c.tl.UpAt(c.at); got != c.want {
+			t.Errorf("%s: UpAt(%v) = %v, want %v", c.name, c.at, got, c.want)
+		}
+	}
+}
+
 // TestTimelineConstants: AlwaysUp serves at every instant including 0,
 // NeverUp at none.
 func TestTimelineConstants(t *testing.T) {

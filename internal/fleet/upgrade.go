@@ -80,6 +80,9 @@ func (f *Fleet) upgradeStep(targets []*Backend, surge *Backend, i int, now simcl
 func (f *Fleet) drain(b *Backend, timeout simclock.Duration, now simclock.Time, done func(now simclock.Time)) {
 	b.draining = true
 	b.onRetired = done
+	if f.tr != nil {
+		f.tr.Instant("fleet", f.btrack(b), "drain", now)
+	}
 	f.noteActive()
 	if b.inflight == 0 {
 		f.retire(b, now)
@@ -106,6 +109,9 @@ func (f *Fleet) retire(b *Backend, now simclock.Time) {
 		return
 	}
 	b.retired = true
+	if f.tr != nil {
+		f.tr.Instant("fleet", f.btrack(b), "retire", now)
+	}
 	f.noteActive()
 	if cb := b.onRelease; cb != nil {
 		b.onRelease = nil

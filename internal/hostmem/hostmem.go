@@ -14,6 +14,7 @@ import (
 
 	"lupine/internal/faults"
 	"lupine/internal/simclock"
+	"lupine/internal/telemetry"
 )
 
 // SiteReclaimStall models the host reclaim path wedging for one control
@@ -104,6 +105,22 @@ type Accountant struct {
 	since       simclock.Time
 	atLevel     [numLevels]simclock.Duration
 	transitions int
+
+	tr         *telemetry.Tracer
+	trTrack    string
+	levelStart simclock.Time
+}
+
+// Observe emits a "pressure:<level>" span (cat "hostmem") for every
+// completed period spent at an elevated pressure level, plus an instant
+// event at each level transition. Nil-tracer safe.
+func (a *Accountant) Observe(tr *telemetry.Tracer, track string) {
+	if a == nil || tr == nil {
+		return
+	}
+	a.tr = tr
+	a.trTrack = track
+	a.levelStart = a.since
 }
 
 // New builds an accountant; Capacity must be positive.
@@ -217,6 +234,14 @@ func (a *Accountant) levelFor(used int64) Level {
 
 func (a *Accountant) relevel() {
 	if next := a.levelFor(a.used); next != a.level {
+		// Sync ran just before any charge change, so a.since is "now".
+		if a.tr != nil {
+			if a.level != LevelNone {
+				a.tr.Span("hostmem", a.trTrack, "pressure:"+a.level.String(), a.levelStart, a.since)
+			}
+			a.tr.Instant("hostmem", a.trTrack, "pressure->"+next.String(), a.since)
+			a.levelStart = a.since
+		}
 		a.level = next
 		a.transitions++
 	}

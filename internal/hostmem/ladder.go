@@ -1,8 +1,11 @@
 package hostmem
 
 import (
+	"strconv"
+
 	"lupine/internal/faults"
 	"lupine/internal/simclock"
+	"lupine/internal/telemetry"
 )
 
 // Step is one rung of the graded response ladder, in escalation order.
@@ -75,6 +78,26 @@ type Ladder struct {
 	hooks    Hooks
 	shedding bool
 	stats    LadderStats
+
+	tr      *telemetry.Tracer
+	trTrack string
+}
+
+// Observe emits an instant event (cat "hostmem") for every rung the
+// ladder climbs: balloon/evict reclaim with need/got bytes, reclaim
+// stalls, shed engage/clear, and OOM kills — with a "rung:kill-request"
+// mark emitted *before* the Kill hook runs, so the victim's own death
+// events always follow a ladder record. Nil-tracer safe.
+func (l *Ladder) Observe(tr *telemetry.Tracer, track string) {
+	if l == nil || tr == nil {
+		return
+	}
+	l.tr = tr
+	l.trTrack = track
+}
+
+func (l *Ladder) mark(name string, now simclock.Time, args ...telemetry.Arg) {
+	l.tr.Instant("hostmem", l.trTrack, name, now, args...)
 }
 
 // NewLadder wires hooks to an accountant. inj may be nil (no fault
@@ -115,18 +138,29 @@ func (l *Ladder) Respond(now simclock.Time) int64 {
 	if need := l.acct.ReclaimTarget(); need > 0 {
 		if d := l.inj.Hit(SiteReclaimStall, now); d.Fire {
 			l.stats.ReclaimStalls++
+			if l.tr != nil {
+				l.mark("reclaim-stall", now)
+			}
 		} else {
 			if l.hooks.Balloon != nil {
 				l.stats.Invoked[StepBalloon]++
 				got := l.hooks.Balloon(need, now)
 				l.stats.BalloonReclaimed += got
 				freed += got
+				if l.tr != nil {
+					l.mark("rung:balloon", now,
+						telemetry.A("need", strconv.FormatInt(need, 10)),
+						telemetry.A("got", strconv.FormatInt(got, 10)))
+				}
 			}
 			if freed < need && l.hooks.Evict != nil {
 				l.stats.Invoked[StepEvict]++
 				got := l.hooks.Evict(need-freed, now)
 				l.stats.Evicted += got
 				freed += got
+				if l.tr != nil {
+					l.mark("rung:evict", now, telemetry.A("got", strconv.FormatInt(got, 10)))
+				}
 			}
 		}
 	}
@@ -135,9 +169,15 @@ func (l *Ladder) Respond(now simclock.Time) int64 {
 		if !l.shedding {
 			l.shedding = true
 			l.stats.ShedEngaged++
+			if l.tr != nil {
+				l.mark("rung:shed", now)
+			}
 		}
 		l.stats.Invoked[StepShed]++
 	} else {
+		if l.shedding && l.tr != nil {
+			l.mark("shed-clear", now)
+		}
 		l.shedding = false
 	}
 
@@ -145,10 +185,19 @@ func (l *Ladder) Respond(now simclock.Time) int64 {
 	// capacity, so the host's OOM killer takes one victim per tick.
 	if l.acct.Used()-freed > l.acct.Capacity() && l.hooks.Kill != nil {
 		l.stats.Invoked[StepKill]++
+		if l.tr != nil {
+			// Before the hook: the victim's death record must have a
+			// ladder record ahead of it.
+			l.mark("rung:kill-request", now,
+				telemetry.A("overage", strconv.FormatInt(l.acct.Used()-freed-l.acct.Capacity(), 10)))
+		}
 		if got := l.hooks.Kill(now); got > 0 {
 			l.stats.Kills++
 			l.stats.KilledBytes += got
 			freed += got
+			if l.tr != nil {
+				l.mark("rung:kill", now, telemetry.A("freed", strconv.FormatInt(got, 10)))
+			}
 		}
 	}
 	return freed

@@ -142,35 +142,58 @@ func (f *Figure) NewSeries(name string) *Series {
 }
 
 // Render prints the figure as a table of x versus each series' y.
-func (f *Figure) Render() string {
+func (f *Figure) Render() string { return f.table().Render() }
+
+// table lays the figure out as a Table (also the CSV shape).
+func (f *Figure) table() *Table {
 	t := &Table{Title: f.Title, Notes: f.Notes}
 	t.Columns = append(t.Columns, f.XLabel)
 	for _, s := range f.Series {
 		t.Columns = append(t.Columns, s.Name+" ("+f.YLabel+")")
 	}
-	// Collect x values from the longest series.
+	// The x-axis is the sorted union of every series' x values; each y
+	// lands on its own x, and series without a sample there show "-".
+	// (Pairing y values by index instead silently misaligns series whose
+	// x values differ.)
+	seen := map[float64]bool{}
 	var xs []float64
 	for _, s := range f.Series {
-		if len(s.X) > len(xs) {
-			xs = s.X
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
 		}
 	}
-	for i, x := range xs {
+	sort.Float64s(xs)
+	byX := make([]map[float64]float64, len(f.Series))
+	for i, s := range f.Series {
+		byX[i] = make(map[float64]float64, len(s.X))
+		for j, x := range s.X {
+			if j < len(s.Y) {
+				byX[i][x] = s.Y[j]
+			}
+		}
+	}
+	for _, x := range xs {
 		cells := []interface{}{trimFloat(x)}
-		for _, s := range f.Series {
-			if i < len(s.Y) {
-				cells = append(cells, s.Y[i])
+		for i := range f.Series {
+			if y, ok := byX[i][x]; ok {
+				cells = append(cells, y)
 			} else {
 				cells = append(cells, "-")
 			}
 		}
 		t.AddRow(cells...)
 	}
-	return t.Render()
+	return t
 }
 
 // String implements fmt.Stringer.
 func (f *Figure) String() string { return f.Render() }
+
+// CSV renders the figure's table as comma-separated values.
+func (f *Figure) CSV() string { return f.table().CSV() }
 
 // CSV renders the table as comma-separated values for external plotting.
 // Cells containing commas or quotes are quoted per RFC 4180.

@@ -66,6 +66,36 @@ func TestFigureRender(t *testing.T) {
 	}
 }
 
+// Regression: series whose x values differ must land each y on its own
+// x row, not pair y values by index against the longest series' x axis.
+func TestFigureRenderMisalignedX(t *testing.T) {
+	f := &Figure{Title: "Misaligned", XLabel: "x", YLabel: "y"}
+	a := f.NewSeries("a")
+	a.Add(1, 10)
+	a.Add(3, 30)
+	b := f.NewSeries("b")
+	b.Add(2, 20)
+	b.Add(3, 33)
+	b.Add(4, 44)
+	tbl := f.table()
+	wantRows := [][]string{
+		{"1", "10", "-"},
+		{"2", "-", "20"},
+		{"3", "30", "33"},
+		{"4", "-", "44"},
+	}
+	if len(tbl.Rows) != len(wantRows) {
+		t.Fatalf("rows = %d, want %d:\n%s", len(tbl.Rows), len(wantRows), f.Render())
+	}
+	for i, want := range wantRows {
+		for j, cell := range want {
+			if tbl.Rows[i][j] != cell {
+				t.Fatalf("row %d col %d = %q, want %q:\n%s", i, j, tbl.Rows[i][j], cell, f.Render())
+			}
+		}
+	}
+}
+
 func TestAddRowStringer(t *testing.T) {
 	tbl := &Table{Columns: []string{"a"}}
 	tbl.AddRow(stubStringer{})

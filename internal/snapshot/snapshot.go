@@ -23,6 +23,7 @@ import (
 	"lupine/internal/guest"
 	"lupine/internal/kbuild"
 	"lupine/internal/simclock"
+	"lupine/internal/telemetry"
 	"lupine/internal/vmm"
 )
 
@@ -144,4 +145,21 @@ func (s *Snapshot) Restore(mon *vmm.Monitor, inj *faults.Injector, now simclock.
 		}
 	}
 	return RestoreResult{Ready: cost, Restored: true}
+}
+
+// RestoreObserved is Restore plus a trace span on track: "restore" for a
+// clean restore, "restore-fallback" when the launch degraded to a cold
+// boot, covering [now, now+Ready). Nil-tracer safe.
+func (s *Snapshot) RestoreObserved(mon *vmm.Monitor, inj *faults.Injector, now simclock.Time, coldBoot simclock.Duration, tr *telemetry.Tracer, track string) RestoreResult {
+	rr := s.Restore(mon, inj, now, coldBoot)
+	if tr != nil {
+		name := "restore"
+		if !rr.Restored {
+			name = "restore-fallback"
+		}
+		tr.Span("snapshot", track, name, now, now.Add(rr.Ready),
+			telemetry.A("snapshot", s.ID),
+			telemetry.A("detail", rr.Detail))
+	}
+	return rr
 }

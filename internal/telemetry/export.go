@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"lupine/internal/simclock"
+)
+
+// ChromeTrace exports the recorded spans and events as Chrome
+// trace-event JSON (the "JSON Array Format" with a traceEvents wrapper),
+// directly loadable in Perfetto or chrome://tracing.
+//
+// Layout: every track becomes a thread (tid) of a single process
+// (pid 1), named via "M" thread_name metadata. Spans are "X" complete
+// events, instants are "i" events with thread scope. Timestamps are
+// virtual microseconds with nanosecond fractions.
+//
+// The output is deterministic: tids are assigned in first-appearance
+// order, events are emitted in record order, and all strings go through
+// encoding/json. Identical seeds therefore produce byte-identical
+// exports.
+func (t *Tracer) ChromeTrace() []byte {
+	if t == nil {
+		return []byte(`{"traceEvents":[]}`)
+	}
+	t.mu.Lock()
+	spans := append([]Span(nil), t.spans...)
+	events := append([]Event(nil), t.events...)
+	t.mu.Unlock()
+
+	tids := map[string]int{}
+	var tracks []string
+	tid := func(track string) int {
+		id, ok := tids[track]
+		if !ok {
+			id = len(tids) + 1
+			tids[track] = id
+			tracks = append(tracks, track)
+		}
+		return id
+	}
+	for _, s := range spans {
+		tid(s.Track)
+	}
+	for _, e := range events {
+		tid(e.Track)
+	}
+
+	var buf bytes.Buffer
+	buf.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	emit := func(s string) {
+		if !first {
+			buf.WriteByte(',')
+		}
+		first = false
+		buf.WriteString(s)
+	}
+	for _, track := range tracks {
+		emit(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			tids[track], jstr(track)))
+	}
+	for _, s := range spans {
+		emit(fmt.Sprintf(`{"ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s,"cat":%s,"name":%s,"args":%s}`,
+			tids[s.Track], usec(int64(s.Start)), usec(int64(s.End.Sub(s.Start))),
+			jstr(s.Cat), jstr(s.Name), jargs(s.Args)))
+	}
+	for _, e := range events {
+		emit(fmt.Sprintf(`{"ph":"i","s":"t","pid":1,"tid":%d,"ts":%s,"cat":%s,"name":%s,"args":%s}`,
+			tids[e.Track], usec(int64(e.At)), jstr(e.Cat), jstr(e.Name), jargs(e.Args)))
+	}
+	buf.WriteString("]}")
+	return buf.Bytes()
+}
+
+// usec renders nanoseconds as microseconds with fixed three fractional
+// digits — the trace-event format's ts/dur unit.
+func usec(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg = "-"
+		ns = -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}
+
+// jstr JSON-encodes a string via the stdlib so escaping is both valid
+// and deterministic.
+func jstr(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// jargs renders args as a JSON object preserving insertion order.
+func jargs(args []Arg) string {
+	if len(args) == 0 {
+		return "{}"
+	}
+	var sb bytes.Buffer
+	sb.WriteByte('{')
+	for i, a := range args {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(jstr(a.Key))
+		sb.WriteByte(':')
+		sb.WriteString(jstr(a.Val))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Dur renders a virtual duration for span args.
+func Dur(d simclock.Duration) string { return d.String() }

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"lupine/internal/simclock"
+)
+
+// Record is one flight-recorder entry.
+type Record struct {
+	At     simclock.Time
+	Name   string
+	Detail string
+}
+
+// Dump is a post-mortem snapshot of a track's recent history, oldest
+// record first.
+type Dump struct {
+	Track   string
+	Reason  string
+	At      simclock.Time
+	Records []Record
+}
+
+// String renders the dump for operator consumption.
+func (d *Dump) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "flight recorder: %s at %v (%s), last %d records:\n",
+		d.Reason, d.At, d.Track, len(d.Records))
+	for _, r := range d.Records {
+		fmt.Fprintf(&sb, "  %-14v %-24s %s\n", r.At, r.Name, r.Detail)
+	}
+	return sb.String()
+}
+
+// Recorder keeps a bounded ring of recent records per track and
+// snapshots a track's ring into a Dump when something dies there. The
+// ring survives a trip: a backend that crashes twice produces two dumps
+// with the history that led to each.
+type Recorder struct {
+	mu    sync.Mutex
+	cap   int
+	rings map[string]*ring
+	dumps []*Dump
+}
+
+// DefaultFlightDepth is the per-track ring capacity when none is given.
+const DefaultFlightDepth = 32
+
+// NewRecorder returns a recorder keeping the last `capacity` records
+// per track (DefaultFlightDepth when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightDepth
+	}
+	return &Recorder{cap: capacity, rings: map[string]*ring{}}
+}
+
+// Note appends a record to track's ring, evicting the oldest past
+// capacity.
+func (r *Recorder) Note(track string, at simclock.Time, name, detail string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	rg, ok := r.rings[track]
+	if !ok {
+		rg = &ring{buf: make([]Record, r.cap)}
+		r.rings[track] = rg
+	}
+	rg.push(Record{At: at, Name: name, Detail: detail})
+	r.mu.Unlock()
+}
+
+// Trip snapshots track's ring into a Dump (oldest first), retains it,
+// and returns it. The ring itself is not cleared.
+func (r *Recorder) Trip(track, reason string, at simclock.Time) *Dump {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := &Dump{Track: track, Reason: reason, At: at}
+	if rg, ok := r.rings[track]; ok {
+		d.Records = rg.snapshot()
+	}
+	r.dumps = append(r.dumps, d)
+	return d
+}
+
+// Dumps returns all retained dumps in trip order.
+func (r *Recorder) Dumps() []*Dump {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Dump(nil), r.dumps...)
+}
+
+// ring is a fixed-capacity circular buffer of records.
+type ring struct {
+	buf  []Record
+	next int
+	full bool
+}
+
+func (rg *ring) push(rec Record) {
+	rg.buf[rg.next] = rec
+	rg.next++
+	if rg.next == len(rg.buf) {
+		rg.next = 0
+		rg.full = true
+	}
+}
+
+func (rg *ring) snapshot() []Record {
+	if !rg.full {
+		return append([]Record(nil), rg.buf[:rg.next]...)
+	}
+	out := make([]Record, 0, len(rg.buf))
+	out = append(out, rg.buf[rg.next:]...)
+	return append(out, rg.buf[:rg.next]...)
+}

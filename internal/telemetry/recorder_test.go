@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lupine/internal/simclock"
+)
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.Note("vm0", simclock.Time(i), fmt.Sprintf("e%d", i), "")
+	}
+	d := r.Trip("vm0", "test", 5)
+	if len(d.Records) != 3 {
+		t.Fatalf("ring kept %d records, want 3", len(d.Records))
+	}
+	// Oldest first, and the two earliest records were evicted.
+	for i, want := range []string{"e2", "e3", "e4"} {
+		if d.Records[i].Name != want {
+			t.Fatalf("record %d = %q, want %q (dump %v)", i, d.Records[i].Name, want, d.Records)
+		}
+	}
+}
+
+func TestRecorderTracksAreIndependent(t *testing.T) {
+	r := NewRecorder(2)
+	r.Note("a", 1, "a1", "")
+	r.Note("b", 2, "b1", "")
+	if d := r.Trip("a", "x", 3); len(d.Records) != 1 || d.Records[0].Name != "a1" {
+		t.Fatalf("track a dump: %v", d.Records)
+	}
+	if d := r.Trip("missing", "x", 3); len(d.Records) != 0 {
+		t.Fatalf("unknown track dumped records: %v", d.Records)
+	}
+}
+
+// The ring survives a trip: a backend that dies twice produces two dumps
+// with the history leading to each, not an empty second dump.
+func TestRecorderRingSurvivesTrip(t *testing.T) {
+	r := NewRecorder(4)
+	r.Note("vm0", 1, "boot", "")
+	d1 := r.Trip("vm0", "panic", 2)
+	r.Note("vm0", 3, "reboot", "")
+	d2 := r.Trip("vm0", "panic", 4)
+	if len(d1.Records) != 1 {
+		t.Fatalf("first dump: %v", d1.Records)
+	}
+	if len(d2.Records) != 2 || d2.Records[1].Name != "reboot" {
+		t.Fatalf("second dump: %v", d2.Records)
+	}
+	dumps := r.Dumps()
+	if len(dumps) != 2 || dumps[0] != d1 || dumps[1] != d2 {
+		t.Fatalf("retained dumps: %v", dumps)
+	}
+}
+
+func TestRecorderDefaultsAndNil(t *testing.T) {
+	r := NewRecorder(0)
+	for i := 0; i < DefaultFlightDepth+5; i++ {
+		r.Note("t", simclock.Time(i), "e", "")
+	}
+	if d := r.Trip("t", "x", 0); len(d.Records) != DefaultFlightDepth {
+		t.Fatalf("default depth kept %d, want %d", len(d.Records), DefaultFlightDepth)
+	}
+	var nr *Recorder
+	nr.Note("t", 0, "e", "")
+	if nr.Trip("t", "x", 0) != nil || nr.Dumps() != nil {
+		t.Fatal("nil recorder returned state")
+	}
+}
+
+func TestDumpString(t *testing.T) {
+	r := NewRecorder(2)
+	r.Note("pool/vm1", simclock.Time(3*simclock.Microsecond), "rung:balloon", "cat=hostmem need=4096")
+	d := r.Trip("pool/vm1", "oom-kill", simclock.Time(5*simclock.Microsecond))
+	s := d.String()
+	for _, want := range []string{"oom-kill", "pool/vm1", "last 1 records", "rung:balloon", "cat=hostmem need=4096"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("dump rendering missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package telemetry is the virtual-time observability plane: a span
+// tracer exportable as Chrome trace-event JSON, a registry of cheap
+// concurrent-safe counters/gauges/histograms, and a bounded flight
+// recorder dumped on crashes.
+//
+// Every timestamp is a simclock.Time — the plane observes *virtual*
+// time, so traces and metrics are bit-for-bit deterministic for a fixed
+// seed. All entry points are nil-receiver safe: a disabled plane is a
+// nil *Tracer / *Registry and every call is a cheap no-op. Hot paths
+// that would otherwise allocate argument slices must still guard with
+// `if tr != nil` before building args; the convention keeps the
+// disabled path at zero allocations (pinned by tests).
+package telemetry
+
+import (
+	"strings"
+	"sync"
+
+	"lupine/internal/simclock"
+)
+
+// Arg is one key=value annotation on a span or event.
+type Arg struct {
+	Key string
+	Val string
+}
+
+// A builds an Arg; it keeps call sites short.
+func A(key, val string) Arg { return Arg{Key: key, Val: val} }
+
+// Span is a closed interval of virtual time on a track.
+type Span struct {
+	Cat   string // subsystem category: boot, vmm, fleet, snapshot, hostmem, faults
+	Track string // display lane, e.g. "lupine/vm0"
+	Name  string
+	Start simclock.Time
+	End   simclock.Time
+	Args  []Arg
+}
+
+// Event is an instant on a track.
+type Event struct {
+	Cat   string
+	Track string
+	Name  string
+	At    simclock.Time
+	Args  []Arg
+}
+
+// Tracer records spans and instant events. A nil Tracer is the disabled
+// plane; every method no-ops.
+type Tracer struct {
+	mu     sync.Mutex
+	spans  []Span
+	events []Event
+	flight *Recorder
+}
+
+// New returns an enabled tracer with no flight recorder attached.
+func New() *Tracer { return &Tracer{} }
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// SetFlight attaches a flight recorder; every subsequent span and event
+// also lands in the recorder's per-track ring.
+func (t *Tracer) SetFlight(r *Recorder) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.flight = r
+	t.mu.Unlock()
+}
+
+// Flight returns the attached recorder (nil if none or disabled).
+func (t *Tracer) Flight() *Recorder {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flight
+}
+
+// Span records a closed [start, end) span.
+func (t *Tracer) Span(cat, track, name string, start, end simclock.Time, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Cat: cat, Track: track, Name: name, Start: start, End: end, Args: args})
+	if t.flight != nil {
+		t.flight.Note(track, start, name, detail(cat, args))
+	}
+	t.mu.Unlock()
+}
+
+// Instant records a point event.
+func (t *Tracer) Instant(cat, track, name string, at simclock.Time, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, Event{Cat: cat, Track: track, Name: name, At: at, Args: args})
+	if t.flight != nil {
+		t.flight.Note(track, at, name, detail(cat, args))
+	}
+	t.mu.Unlock()
+}
+
+// Trip snapshots the flight ring for track (crash post-mortem) and
+// marks the moment with a "flight" instant event. Returns the dump, or
+// nil when disabled or no recorder is attached.
+func (t *Tracer) Trip(track, reason string, at simclock.Time) *Dump {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	r := t.flight
+	t.mu.Unlock()
+	var d *Dump
+	if r != nil {
+		d = r.Trip(track, reason, at)
+	}
+	t.Instant("flight", track, "trip:"+reason, at)
+	return d
+}
+
+// Spans returns a copy of all recorded spans in record order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Events returns a copy of all recorded instant events in record order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// detail renders a flight-record detail line: "cat=<cat> k=v ...".
+func detail(cat string, args []Arg) string {
+	if len(args) == 0 {
+		return "cat=" + cat
+	}
+	var sb strings.Builder
+	sb.WriteString("cat=")
+	sb.WriteString(cat)
+	for _, a := range args {
+		sb.WriteByte(' ')
+		sb.WriteString(a.Key)
+		sb.WriteByte('=')
+		sb.WriteString(a.Val)
+	}
+	return sb.String()
+}

@@ -15,9 +15,11 @@ package vmm
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"lupine/internal/faults"
 	"lupine/internal/simclock"
+	"lupine/internal/telemetry"
 )
 
 // SiteDeviceProbe is the VMM-owned fault-injection site on the device
@@ -68,6 +70,12 @@ type Attempt struct {
 	ReadyAfter simclock.Duration // boot+init latency (valid when Ready)
 	Ran        simclock.Duration // total virtual time this lifetime consumed
 	Detail     string            // human-readable cause ("kernel panic: ...", etc.)
+
+	// Telemetry, when set and the supervisor is being observed, is called
+	// with the attempt's start instant on the supervised timeline so the
+	// lifetime can emit its own sub-spans (e.g. boot phases) at the right
+	// offset. The supervisor owns the timeline; the boot fn does not.
+	Telemetry func(tr *telemetry.Tracer, track string, start simclock.Time)
 }
 
 // BootFn runs one complete VM lifetime (boot, init, workload) and reports
@@ -201,6 +209,20 @@ func (r *SupervisorReport) Stats() Stats {
 type Supervisor struct {
 	Policy RestartPolicy
 	report SupervisorReport
+
+	tr      *telemetry.Tracer
+	trTrack string
+}
+
+// Observe makes subsequent runs emit per-attempt spans (cat "vmm"),
+// backoff spans, and flight-recorder trips on panic and crash-loop onto
+// tr, using track as the display lane. Nil-safe.
+func (s *Supervisor) Observe(tr *telemetry.Tracer, track string) {
+	if s == nil || tr == nil {
+		return
+	}
+	s.tr = tr
+	s.trTrack = track
 }
 
 // NewSupervisor returns a supervisor with the given panic=reboot policy.
@@ -279,6 +301,22 @@ func (s *Supervisor) run(pick func(attempt int) BootFn) SupervisorReport {
 		clk.Advance(att.Ran)
 		rep.Attempts = append(rep.Attempts, AttemptRecord{Attempt: att, Start: start, Backoff: charged})
 
+		if s.tr != nil {
+			if charged > 0 {
+				s.tr.Span("vmm", s.trTrack, "backoff", start.Add(-charged), start,
+					telemetry.A("before-attempt", strconv.Itoa(attempt)))
+			}
+			s.tr.Span("vmm", s.trTrack, fmt.Sprintf("attempt %d: %s", attempt, att.Outcome), start, clk.Now(),
+				telemetry.A("ready", strconv.FormatBool(att.Ready)),
+				telemetry.A("detail", att.Detail))
+			if att.Telemetry != nil {
+				att.Telemetry(s.tr, s.trTrack, start)
+			}
+			if att.Outcome == OutcomePanic {
+				s.tr.Trip(s.trTrack, "kernel-panic", clk.Now())
+			}
+		}
+
 		if att.Ready {
 			consecutiveDOA = 0
 			rep.Uptime += att.Ran - att.ReadyAfter
@@ -295,6 +333,9 @@ func (s *Supervisor) run(pick func(attempt int) BootFn) SupervisorReport {
 		}
 		if policy.CrashLoopBudget > 0 && consecutiveDOA >= policy.CrashLoopBudget {
 			rep.CrashLoop = true
+			if s.tr != nil {
+				s.tr.Trip(s.trTrack, "crash-loop", clk.Now())
+			}
 			break
 		}
 		if attempt-1 >= policy.MaxRestarts {

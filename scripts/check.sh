@@ -20,13 +20,13 @@ echo "== go test -race"
 go test -race ./...
 
 # The concurrency-sensitive planes (fleet event engine, supervisor,
-# snapshot store, memory accountant, guest balloon) get a second racing
-# pass with fresh test binaries: -count=2 defeats result caching and
-# shakes out run-to-run nondeterminism the bit-for-bit replay guarantees
-# forbid.
-echo "== go test -race -count=2 (fleet, vmm, snapshot, hostmem, guest)"
+# snapshot store, memory accountant, guest balloon, telemetry plane) get
+# a second racing pass with fresh test binaries: -count=2 defeats result
+# caching and shakes out run-to-run nondeterminism the bit-for-bit
+# replay guarantees forbid.
+echo "== go test -race -count=2 (fleet, vmm, snapshot, hostmem, guest, telemetry)"
 go test -race -count=2 ./internal/fleet/... ./internal/vmm/... ./internal/snapshot/... \
-    ./internal/hostmem/... ./internal/guest/...
+    ./internal/hostmem/... ./internal/guest/... ./internal/telemetry/...
 
 # Every registered fault site must surface in the operator-facing
 # catalog: the count of RegisterSite calls in non-test source must match
@@ -40,5 +40,17 @@ if [ "$registered" -ne "$listed" ]; then
     exit 1
 fi
 echo "   $listed sites registered and listed"
+
+# Trace determinism gate: two same-seed memstorm runs must export
+# byte-identical, valid Chrome trace JSON. This is the telemetry plane's
+# core contract — virtual-time spans only, no wall clocks.
+echo "== trace determinism (memstorm, two same-seed runs)"
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/lupine-bench -run memstorm -trace-out="$tracedir/a.json" >/dev/null
+go run ./cmd/lupine-bench -run memstorm -trace-out="$tracedir/b.json" >/dev/null
+cmp "$tracedir/a.json" "$tracedir/b.json"
+go run ./scripts/jsoncheck.go "$tracedir/a.json"
+echo "   byte-identical and valid JSON"
 
 echo "== ok"
