@@ -36,6 +36,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the runs (load in Perfetto or chrome://tracing)")
 	metricsOut := flag.String("metrics-out", "", "write the telemetry metrics registry as JSON")
 	flight := flag.Bool("flight", false, "print flight-recorder crash dumps after the runs")
+	benchOut := flag.String("bench-out", "", "run the netsplit storm and write a wall-clock bench record (JSON) to this path")
 	flag.Parse()
 
 	experiments.SetChaosSeed(*seed)
@@ -62,9 +63,27 @@ func main() {
 
 	if *listFaults {
 		// Importing the experiments package pulls in every subsystem, so
-		// the registry holds all sites a plan can arm.
+		// the registry holds all sites a plan can arm. Sites print grouped
+		// by subsystem; scripts/check.sh counts the indented site lines
+		// against RegisterSite calls, so every site stays discoverable.
+		subsystem := ""
 		for _, s := range faults.Sites() {
-			fmt.Printf("%-24s %-8s %s\n", s.Name, s.Subsystem, s.Doc)
+			if s.Subsystem != subsystem {
+				if subsystem != "" {
+					fmt.Println()
+				}
+				subsystem = s.Subsystem
+				fmt.Printf("%s:\n", subsystem)
+			}
+			fmt.Printf("  %-26s %s\n", s.Name, s.Doc)
+		}
+		return
+	}
+
+	if *benchOut != "" {
+		if err := writeBenchRecord(*benchOut, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -140,6 +159,43 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// benchRecord is the wall-clock trajectory sample scripts/check.sh
+// lands as BENCH_netsplit.json: how fast the event engine chews through
+// the netsplit storm on this machine, plus the headline results so a
+// perf regression that changes behavior is visible in the same file.
+type benchRecord struct {
+	Experiment   string  `json:"experiment"`
+	Seed         uint64  `json:"seed"`
+	Events       int     `json:"events"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Availability float64 `json:"availability"` // lupine+mp round-robin row
+	P99Micros    float64 `json:"p99_us"`       // same row's p99 virtual latency
+}
+
+func writeBenchRecord(path string, seed uint64) error {
+	start := time.Now()
+	events, avail, p99, err := experiments.NetSplitBench()
+	if err != nil {
+		return fmt.Errorf("bench-out: %w", err)
+	}
+	wall := time.Since(start).Seconds()
+	rec := benchRecord{
+		Experiment:   "netsplit",
+		Seed:         seed,
+		Events:       events,
+		WallSeconds:  wall,
+		EventsPerSec: float64(events) / wall,
+		Availability: avail,
+		P99Micros:    p99,
+	}
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // writeCSV lands one experiment's table (or figure) as <dir>/<id>.csv.

@@ -1,0 +1,84 @@
+package fabric
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// IP is an IPv4 address in host byte order. The fabric models a single
+// flat L3 segment per Network, so four bytes are plenty; the type exists
+// so addresses print like addresses instead of like integers.
+type IP uint32
+
+// String renders dotted-quad.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// Addr is one L4 endpoint on the fabric.
+type Addr struct {
+	IP   IP
+	Port int
+}
+
+// String renders ip:port.
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.IP, a.Port) }
+
+// Subnet is a CIDR block handing out host addresses sequentially, the
+// way ops-style tooling carves a bridge subnet per deployment: the
+// network and broadcast addresses are reserved, .1 is conventionally the
+// gateway (here: the front-end), and every VM NIC gets the next host.
+type Subnet struct {
+	base   IP
+	prefix int
+	next   uint32 // next host offset to hand out (starts at 1)
+}
+
+// ParseCIDR parses "a.b.c.d/n" into an allocator positioned at the first
+// host address.
+func ParseCIDR(s string) (*Subnet, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return nil, fmt.Errorf("fabric: CIDR %q: missing prefix length", s)
+	}
+	prefix, err := strconv.Atoi(s[slash+1:])
+	if err != nil || prefix < 0 || prefix > 30 {
+		return nil, fmt.Errorf("fabric: CIDR %q: prefix must be 0..30", s)
+	}
+	parts := strings.Split(s[:slash], ".")
+	if len(parts) != 4 {
+		return nil, fmt.Errorf("fabric: CIDR %q: not dotted-quad", s)
+	}
+	var ip uint32
+	for _, p := range parts {
+		b, err := strconv.Atoi(p)
+		if err != nil || b < 0 || b > 255 {
+			return nil, fmt.Errorf("fabric: CIDR %q: bad octet %q", s, p)
+		}
+		ip = ip<<8 | uint32(b)
+	}
+	mask := ^uint32(0) << (32 - uint32(prefix))
+	if ip&^mask != 0 {
+		return nil, fmt.Errorf("fabric: CIDR %q: host bits set in network address", s)
+	}
+	return &Subnet{base: IP(ip), prefix: prefix, next: 1}, nil
+}
+
+// String renders the block in CIDR notation.
+func (s *Subnet) String() string { return fmt.Sprintf("%s/%d", s.base, s.prefix) }
+
+// Hosts reports how many host addresses the block can hand out
+// (all-zeros and all-ones are reserved).
+func (s *Subnet) Hosts() int { return (1 << (32 - uint32(s.prefix))) - 2 }
+
+// Alloc hands out the next host address, erroring when the block is
+// exhausted so a fleet that outgrows its CIDR fails loudly.
+func (s *Subnet) Alloc() (IP, error) {
+	if int(s.next) > s.Hosts() {
+		return 0, fmt.Errorf("fabric: subnet %s exhausted after %d hosts", s, s.Hosts())
+	}
+	ip := IP(uint32(s.base) + s.next)
+	s.next++
+	return ip, nil
+}

@@ -1,0 +1,313 @@
+package fabric
+
+import (
+	"errors"
+	"strconv"
+
+	"lupine/internal/simclock"
+	"lupine/internal/telemetry"
+)
+
+// Terminal connection errors. The distinction matters to the caller: a
+// refused connection is a dead server (failure-detect fast), an overflow
+// is backpressure (the load balancer's shed signal), a timeout is a
+// partition, a flapping link or a server that died mid-flight.
+var (
+	ErrRefused  = errors.New("fabric: connection refused (no listener)")
+	ErrOverflow = errors.New("fabric: connection refused (SYN backlog full)")
+	ErrTimeout  = errors.New("fabric: connection timed out")
+)
+
+// ConnCallbacks is the client side's view of a connection's life. Each
+// fires at most once; exactly one of Failed or Response fires for every
+// dialed connection, which is what lets the fleet account every request
+// exactly once.
+type ConnCallbacks struct {
+	// Established fires when the SYN-ACK lands: the connection is live
+	// (possibly still waiting in the server's accept queue).
+	Established func(c *Conn, now simclock.Time)
+	// Failed fires on any terminal failure: ErrRefused, ErrOverflow, or
+	// ErrTimeout (retransmit exhaustion or response timeout).
+	Failed func(c *Conn, err error, now simclock.Time)
+	// Response fires when the server's response payload is delivered.
+	Response func(c *Conn, now simclock.Time)
+}
+
+// xmit is one reliably-delivered logical segment: the sender retransmits
+// on an RTO clock until the matching ACK (or SYN-ACK/RST) lands, then
+// gives up after the configured attempts and fails the connection.
+type xmit struct {
+	conn     *Conn
+	kind     segKind
+	size     int
+	seq      int
+	attempt  int // retransmissions so far
+	max      int
+	acked    bool
+	response bool
+}
+
+// Conn is one TCP-like connection between a client node and a server
+// listener. The fabric owns the state machine; the fleet owns the
+// decisions (when to accept, when to respond).
+type Conn struct {
+	net    *Network
+	id     int
+	client *Node
+	server *Node
+	raddr  Addr
+
+	dialedAt simclock.Time
+	closed   bool
+	outcome  string // for the telemetry span
+	rexmits  int    // retransmissions spent on this connection, both directions
+
+	// client side
+	cbs           ConnCallbacks
+	established   bool
+	respDelivered bool
+
+	// server side
+	srvQueued   bool // sitting in the listener backlog
+	srvAccepted bool
+	reqArrived  bool
+	onRequest   func(now simclock.Time)
+
+	xmits map[int]*xmit
+}
+
+// Dial opens a connection from nd to dst, beginning the handshake now.
+// The callbacks resolve its fate exactly once.
+func (nd *Node) Dial(dst *Node, port int, cbs ConnCallbacks) *Conn {
+	n := nd.net
+	n.connSeq++
+	c := &Conn{
+		net:      n,
+		id:       n.connSeq,
+		client:   nd,
+		server:   dst,
+		raddr:    Addr{IP: dst.ip, Port: port},
+		dialedAt: n.sched.Now(),
+		cbs:      cbs,
+		xmits:    make(map[int]*xmit),
+	}
+	c.sendReliable(segSYN, ctlBytes, n.params.ConnectRetries, false)
+	return c
+}
+
+// ID reports the connection's fabric-wide id.
+func (c *Conn) ID() int { return c.id }
+
+// Server reports the node the connection was dialed at.
+func (c *Conn) Server() *Node { return c.server }
+
+// Established reports whether the handshake completed.
+func (c *Conn) Established() bool { return c.established }
+
+// Closed reports whether the connection reached a terminal state.
+func (c *Conn) Closed() bool { return c.closed }
+
+// Retransmits reports retransmissions spent on this connection so far.
+func (c *Conn) Retransmits() int { return c.rexmits }
+
+// sendReliable starts a reliably-delivered logical segment from the
+// side implied by kind/response.
+func (c *Conn) sendReliable(kind segKind, size, maxRetries int, response bool) {
+	c.net.connSeq++
+	x := &xmit{conn: c, kind: kind, size: size, seq: c.net.connSeq, max: maxRetries, response: response}
+	c.xmits[x.seq] = x
+	c.push(x, c.net.sched.Now())
+}
+
+// push transmits an xmit's segment and arms its retransmission timer.
+func (c *Conn) push(x *xmit, now simclock.Time) {
+	from, to := c.client, c.server
+	if x.kind == segData && x.response {
+		from, to = c.server, c.client
+	}
+	c.net.transmit(&segment{kind: x.kind, from: from, to: to, size: x.size, conn: c, seq: x.seq, response: x.response}, now)
+	rto := c.net.rto(x.attempt)
+	c.net.sched.Schedule(now.Add(rto), func(at simclock.Time) { c.rexmitCheck(x, at) })
+}
+
+// rexmitCheck fires when an xmit's RTO elapses: still un-acked means the
+// segment (or its ACK) was lost — retransmit, or give up and fail the
+// connection with a timeout.
+func (c *Conn) rexmitCheck(x *xmit, now simclock.Time) {
+	if x.acked || c.closed {
+		return
+	}
+	// A response whose client already resolved is abandoned silently.
+	if x.response && c.respDelivered {
+		return
+	}
+	if x.attempt >= x.max {
+		if x.response {
+			return // server gives up; the client's own timeout resolves it
+		}
+		c.fail(ErrTimeout, now)
+		return
+	}
+	x.attempt++
+	c.rexmits++
+	c.net.stats.Retransmits++
+	if tr := c.net.tr; tr != nil {
+		tr.Instant("fabric", c.net.trTrack, "rexmit", now,
+			telemetry.A("conn", strconv.Itoa(c.id)),
+			telemetry.A("kind", x.kind.String()),
+			telemetry.A("attempt", strconv.Itoa(x.attempt)))
+	}
+	c.push(x, now)
+}
+
+// rto is the seeded-jitter exponential backoff schedule.
+func (n *Network) rto(attempt int) simclock.Duration {
+	d := n.params.RTO
+	for i := 0; i < attempt; i++ {
+		d *= simclock.Duration(n.params.RTOFactor)
+	}
+	if n.params.RTOJitter > 0 {
+		d += simclock.Duration(n.rng.Intn(int(n.params.RTOJitter)))
+	}
+	return d
+}
+
+// ack marks the xmit carried by seq as delivered.
+func (c *Conn) ack(seq int) {
+	if x := c.xmits[seq]; x != nil {
+		x.acked = true
+		delete(c.xmits, seq)
+	}
+}
+
+// ackAll resolves every outstanding xmit of the given kind (SYN-ACK and
+// RST both answer the SYN without naming its seq).
+func (c *Conn) ackAll(kind segKind) {
+	for seq, x := range c.xmits {
+		if x.kind == kind {
+			x.acked = true
+			delete(c.xmits, seq)
+		}
+	}
+}
+
+// clientSYNACK completes the client half of the handshake.
+func (c *Conn) clientSYNACK(now simclock.Time) {
+	c.ackAll(segSYN)
+	if c.closed || c.established {
+		return
+	}
+	c.established = true
+	c.net.stats.Established++
+	if c.cbs.Established != nil {
+		c.cbs.Established(c, now)
+	}
+}
+
+// clientRST resolves the dial as refused.
+func (c *Conn) clientRST(err error, now simclock.Time) {
+	c.ackAll(segSYN)
+	if c.closed || c.established {
+		return
+	}
+	c.net.stats.Refused++ // overflow and dead-server RSTs both land here; Overflows counted at the listener
+	c.fail(err, now)
+}
+
+// SendRequest ships the request payload to the server and arms the
+// response deadline: if the response payload has not landed within
+// respTimeout the connection fails with ErrTimeout — covering a server
+// that died mid-service, a cut return path, or a backlog that never
+// drains.
+func (c *Conn) SendRequest(size int, respTimeout simclock.Duration, now simclock.Time) {
+	if c.closed {
+		return
+	}
+	c.sendReliable(segData, size, c.net.params.MaxRetransmits, false)
+	c.net.sched.Schedule(now.Add(respTimeout), func(at simclock.Time) {
+		if !c.closed && !c.respDelivered {
+			c.fail(ErrTimeout, at)
+		}
+	})
+}
+
+// serverRequest lands the request payload at the server: ACK (the server
+// is alive to do so) and hand it to whoever accepted the connection.
+func (c *Conn) serverRequest(seq int, now simclock.Time) {
+	if !c.server.up(now) {
+		return // dead VMs don't ACK; the client retransmits into the void
+	}
+	c.net.send(&segment{kind: segACK, from: c.server, to: c.client, size: ctlBytes, conn: c, seq: seq}, now)
+	if c.reqArrived {
+		return // retransmitted duplicate
+	}
+	c.reqArrived = true
+	if c.onRequest != nil && c.srvAccepted {
+		fn := c.onRequest
+		c.onRequest = nil
+		fn(now)
+	}
+}
+
+// WhenRequest arms the server-side continuation for the request payload:
+// fires immediately if it already landed, otherwise when it does. The
+// fleet calls this right after Accept.
+func (c *Conn) WhenRequest(now simclock.Time, fn func(now simclock.Time)) {
+	if c.reqArrived {
+		fn(now)
+		return
+	}
+	c.onRequest = fn
+}
+
+// Respond ships the response payload back to the client (reliably, up to
+// the retransmission budget — past that the client's response deadline
+// is the backstop).
+func (c *Conn) Respond(size int, now simclock.Time) {
+	if c.closed {
+		return
+	}
+	c.sendReliable(segData, size, c.net.params.MaxRetransmits, true)
+}
+
+// clientResponse lands the response payload: resolve the connection as
+// served and ACK so the server stops retransmitting.
+func (c *Conn) clientResponse(seq int, now simclock.Time) {
+	c.net.send(&segment{kind: segACK, from: c.client, to: c.server, size: ctlBytes, conn: c, seq: seq}, now)
+	if c.closed || c.respDelivered {
+		return
+	}
+	c.respDelivered = true
+	c.close("served", now)
+	if c.cbs.Response != nil {
+		c.cbs.Response(c, now)
+	}
+}
+
+// fail resolves the connection as failed, exactly once.
+func (c *Conn) fail(err error, now simclock.Time) {
+	if c.closed {
+		return
+	}
+	if errors.Is(err, ErrTimeout) {
+		c.net.stats.Timeouts++
+	}
+	c.close(err.Error(), now)
+	if c.cbs.Failed != nil {
+		c.cbs.Failed(c, err, now)
+	}
+}
+
+// close seals the state machine and emits the connection's span.
+func (c *Conn) close(outcome string, now simclock.Time) {
+	c.closed = true
+	c.outcome = outcome
+	c.xmits = nil
+	if tr := c.net.tr; tr != nil {
+		tr.Span("fabric", c.net.trTrack, "conn", c.dialedAt, now,
+			telemetry.A("conn", strconv.Itoa(c.id)),
+			telemetry.A("dst", c.server.name),
+			telemetry.A("outcome", outcome),
+			telemetry.A("rexmits", strconv.Itoa(c.rexmits)))
+	}
+}

@@ -1,0 +1,584 @@
+// Package fabric is the deterministic virtual network between VMs: an
+// L3/L4 model on the simclock that the fleet front-end dispatches over,
+// replacing the abstract "request arrives by function call" wire. It
+// models what the paper's deployment story takes for granted — app
+// servers as full VMs behind a load balancer — concretely enough to
+// lose: CIDR-allocated per-VM addresses on a virtual switch, per-link
+// latency/bandwidth, TCP-like connections with a SYN backlog that
+// refuses on overflow (the listen(2)/ECONNREFUSED semantics of
+// internal/guest/net.go, reproduced at the wire), ACK-clocked
+// retransmission with seeded-jitter exponential backoff, and
+// connection-level timeouts. A family of fault sites (fabric/partition,
+// fabric/loss, fabric/delay, fabric/flap) lets a seeded storm split the
+// network asymmetrically, drop or delay individual segments, and flap
+// links mid-connection — all replayable bit-for-bit from one seed.
+package fabric
+
+import (
+	"fmt"
+
+	"lupine/internal/faults"
+	"lupine/internal/simclock"
+	"lupine/internal/telemetry"
+)
+
+// Fault-injection sites owned by the fabric. The rule decides WHEN the
+// fault is active (window, probability, nth hit); for partition the
+// Param decides WHICH directed traffic it cuts, so one plan can split
+// the network asymmetrically.
+const (
+	// SitePartition blackholes matching segments. Param selects the cut:
+	// 0 drops everything in the window; +n drops segments INTO node n
+	// (others cannot reach it, its own traffic still flows); -n drops
+	// segments OUT OF node n (it answers into the void). Node ids are
+	// assigned by AddNode starting at 1. Non-matching segments pass.
+	SitePartition = "fabric/partition"
+	// SiteLoss drops the segment it fires on; the sender pays a
+	// retransmission timeout and tries again.
+	SiteLoss = "fabric/loss"
+	// SiteDelay adds Param microseconds (default 100) to the segment's
+	// propagation latency.
+	SiteDelay = "fabric/delay"
+	// SiteFlap takes the link between the segment's two endpoints down
+	// for Param microseconds (default 500), both directions, dropping the
+	// triggering segment too — a flapping cable mid-connection.
+	SiteFlap = "fabric/flap"
+)
+
+func init() {
+	faults.RegisterSite(SitePartition, "fabric",
+		"segment blackholed by a network partition; Param 0=all, +n=into node n, -n=out of node n (asymmetric)")
+	faults.RegisterSite(SiteLoss, "fabric",
+		"segment lost on the wire; the sender retransmits with seeded-jitter backoff")
+	faults.RegisterSite(SiteDelay, "fabric",
+		"segment delayed by Param microseconds of extra propagation latency")
+	faults.RegisterSite(SiteFlap, "fabric",
+		"the segment's link flaps down for Param microseconds, dropping traffic in both directions")
+}
+
+// SOMAXCONN mirrors internal/guest.SOMAXCONN: the fabric's listener
+// backlog obeys the same listen(2) clamping rules as the guest network
+// stack it models the wire for (a parity test pins the two constants
+// together).
+const SOMAXCONN = 128
+
+// ctlBytes is the modeled size of control segments (SYN, SYN-ACK, RST,
+// ACK, probes): a headers-only frame.
+const ctlBytes = 64
+
+// Scheduler is the event engine the fabric runs on. The fleet front-end
+// passes itself, so fabric events interleave deterministically with
+// dispatch, probe and autoscaler events on one virtual-time heap.
+type Scheduler interface {
+	Now() simclock.Time
+	Schedule(at simclock.Time, fn func(now simclock.Time))
+}
+
+// LinkSpec models one node's access link to the switch.
+type LinkSpec struct {
+	Latency   simclock.Duration // one-way propagation to the switch
+	Bandwidth int64             // egress bytes per virtual second; 0 = infinite
+}
+
+// Params tunes a Network. All durations are virtual.
+type Params struct {
+	CIDR        string   // address block for AddNode allocations
+	DefaultLink LinkSpec // access link used when AddNode gets a zero spec
+
+	// Retransmission: a lost segment is resent after
+	// RTO * RTOFactor^(attempt-1) + jitter in [0, RTOJitter), at most
+	// MaxRetransmits times for data and ConnectRetries times for SYNs;
+	// exhaustion fails the connection with ErrTimeout.
+	RTO            simclock.Duration
+	RTOFactor      int
+	RTOJitter      simclock.Duration
+	MaxRetransmits int
+	ConnectRetries int
+
+	// DataDropSite and ProbeDropSite, when non-empty, are extra fault
+	// sites consulted for data and probe segments respectively — the
+	// fleet plugs its legacy fleet/dispatch-drop and fleet/probe-drop
+	// sites in here so existing storm plans keep their meaning on the
+	// real wire.
+	DataDropSite  string
+	ProbeDropSite string
+
+	// Seed drives retransmission jitter (independent of the injector's
+	// fire stream).
+	Seed uint64
+}
+
+// DefaultParams is a 10 Gbps / 5 µs-per-link fabric with production-ish
+// TCP timers scaled to the simulation's microsecond world.
+func DefaultParams() Params {
+	const us = simclock.Microsecond
+	return Params{
+		CIDR:           "10.0.0.0/16",
+		DefaultLink:    LinkSpec{Latency: 5 * us, Bandwidth: 1250 * 1000 * 1000},
+		RTO:            200 * us,
+		RTOFactor:      2,
+		RTOJitter:      50 * us,
+		MaxRetransmits: 4,
+		ConnectRetries: 3,
+		Seed:           1,
+	}
+}
+
+// Stats is the fabric's wire accounting.
+type Stats struct {
+	Segments    int // transmissions attempted (retransmits included)
+	Delivered   int // segments that reached their destination
+	Dropped     int // segments lost to faults or down links
+	Retransmits int // segments re-sent after a presumed loss
+	Established int // connections that completed the handshake
+	Refused     int // connections RST because the server was down
+	Overflows   int // connections RST because the SYN backlog was full
+	Timeouts    int // connections failed by retransmit exhaustion or response timeout
+	ProbesSent  int
+	ProbesOK    int
+}
+
+// Network is one virtual switch plus every NIC attached to it.
+type Network struct {
+	params Params
+	sched  Scheduler
+	inj    *faults.Injector
+	rng    *faults.Stream
+	subnet *Subnet
+	nodes  []*Node
+
+	busyUntil     map[int]simclock.Time    // per-node egress serialization
+	linkDownUntil map[[2]int]simclock.Time // flapped links, keyed by sorted id pair
+
+	connSeq    int
+	probeSeq   int
+	probeTable map[int]*probe
+	stats      Stats
+
+	tr      *telemetry.Tracer
+	trTrack string
+}
+
+// New builds a network on the scheduler. inj may be nil (a clean wire).
+func New(params Params, sched Scheduler, inj *faults.Injector) (*Network, error) {
+	if params.CIDR == "" {
+		params.CIDR = DefaultParams().CIDR
+	}
+	subnet, err := ParseCIDR(params.CIDR)
+	if err != nil {
+		return nil, err
+	}
+	if params.RTO <= 0 {
+		params.RTO = DefaultParams().RTO
+	}
+	if params.RTOFactor < 1 {
+		params.RTOFactor = 1
+	}
+	if params.MaxRetransmits < 0 {
+		params.MaxRetransmits = 0
+	}
+	if params.ConnectRetries < 0 {
+		params.ConnectRetries = 0
+	}
+	return &Network{
+		params:        params,
+		sched:         sched,
+		inj:           inj,
+		rng:           faults.NewStream(params.Seed ^ 0xFAB51C),
+		subnet:        subnet,
+		busyUntil:     make(map[int]simclock.Time),
+		linkDownUntil: make(map[[2]int]simclock.Time),
+	}, nil
+}
+
+// Observe attaches the telemetry plane: a span per connection, instant
+// events per retransmission and per dropped segment — the pre-trip wire
+// history flight recordings need. Nil-safe; a fabric without telemetry
+// pays nothing on the segment path.
+func (n *Network) Observe(tr *telemetry.Tracer, track string) {
+	n.tr = tr
+	n.trTrack = track
+}
+
+// Stats returns the wire accounting so far.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Node is one NIC on the switch: a VM, or the front-end itself.
+type Node struct {
+	net  *Network
+	id   int // 1-based; SitePartition params address this
+	name string
+	ip   IP
+	link LinkSpec
+
+	// alive is the ground-truth liveness gate: a dead VM neither answers
+	// SYNs nor ACKs data. Nil means always up.
+	alive func(now simclock.Time) bool
+
+	listeners map[int]*Listener
+}
+
+// AddNode attaches a NIC, allocating the next address in the block.
+// A zero link spec inherits the network default. Node ids count from 1
+// in attachment order — the id space SitePartition params address.
+func (n *Network) AddNode(name string, link LinkSpec) (*Node, error) {
+	ip, err := n.subnet.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	if link.Latency == 0 && link.Bandwidth == 0 {
+		link = n.params.DefaultLink
+	}
+	nd := &Node{
+		net:       n,
+		id:        len(n.nodes) + 1,
+		name:      name,
+		ip:        ip,
+		link:      link,
+		listeners: make(map[int]*Listener),
+	}
+	n.nodes = append(n.nodes, nd)
+	return nd, nil
+}
+
+// ID reports the node's 1-based id (the partition-param address space).
+func (nd *Node) ID() int { return nd.id }
+
+// IP reports the node's allocated address.
+func (nd *Node) IP() IP { return nd.ip }
+
+// Name reports the node's display name.
+func (nd *Node) Name() string { return nd.name }
+
+// SetAlive installs the ground-truth liveness gate.
+func (nd *Node) SetAlive(fn func(now simclock.Time) bool) { nd.alive = fn }
+
+func (nd *Node) up(now simclock.Time) bool { return nd.alive == nil || nd.alive(now) }
+
+// Listener is a bound, listening L4 endpoint with a SYN backlog.
+// Completed handshakes wait here until the owner Accepts them; a SYN
+// arriving at a full backlog is refused with a RST — the same
+// cap-and-refuse semantics as guest/net.go's ListenBacklog path, which
+// is exactly the fleet's shed signal.
+type Listener struct {
+	node    *Node
+	port    int
+	cap     int
+	backlog []*Conn
+
+	// OnPending, when set, fires every time a connection lands in the
+	// backlog — the owner's cue to try an Accept.
+	OnPending func(now simclock.Time)
+}
+
+// Listen binds a listener on port with the given backlog cap, applying
+// the listen(2) clamping rules (below 1 raised to 1, above SOMAXCONN
+// clamped down). Re-binding a bound port is a programming error.
+func (nd *Node) Listen(port, backlog int) *Listener {
+	if _, dup := nd.listeners[port]; dup {
+		panic(fmt.Sprintf("fabric: node %s: duplicate listener on port %d", nd.name, port))
+	}
+	if backlog < 1 {
+		backlog = 1
+	}
+	if backlog > SOMAXCONN {
+		backlog = SOMAXCONN
+	}
+	l := &Listener{node: nd, port: port, cap: backlog}
+	nd.listeners[port] = l
+	return l
+}
+
+// pending counts live (non-closed) connections waiting in the backlog.
+func (l *Listener) pending() int {
+	n := 0
+	for _, c := range l.backlog {
+		if !c.closed {
+			n++
+		}
+	}
+	return n
+}
+
+// Pending reports how many connections are waiting to be accepted.
+func (l *Listener) Pending() int { return l.pending() }
+
+// Accept pops the oldest live pending connection, or nil. Connections
+// whose client already gave up (timed out) are discarded in passing,
+// like a dead entry in an accept queue.
+func (l *Listener) Accept(now simclock.Time) *Conn {
+	for len(l.backlog) > 0 {
+		c := l.backlog[0]
+		l.backlog = l.backlog[1:]
+		if c.closed {
+			continue
+		}
+		c.srvAccepted = true
+		return c
+	}
+	return nil
+}
+
+// --- segment engine ---
+
+type segKind int
+
+const (
+	segSYN segKind = iota
+	segSYNACK
+	segRST
+	segData // request or response payload
+	segACK
+	segProbe
+	segProbeReply
+)
+
+func (k segKind) String() string {
+	switch k {
+	case segSYN:
+		return "syn"
+	case segSYNACK:
+		return "syn-ack"
+	case segRST:
+		return "rst"
+	case segData:
+		return "data"
+	case segACK:
+		return "ack"
+	case segProbe:
+		return "probe"
+	case segProbeReply:
+		return "probe-reply"
+	}
+	return "?"
+}
+
+// segment is one frame in flight.
+type segment struct {
+	kind     segKind
+	from, to *Node
+	size     int
+	conn     *Conn // nil for probes
+	seq      int   // xmit identity being carried (SYN/data) or acked (ACK)
+	rstErr   error // for segRST: why
+	probeID  int
+	response bool // for segData: server->client payload
+}
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// transmit pushes one segment onto the wire: fault gauntlet, egress
+// serialization, propagation, then delivery. Drops are silent to the
+// sender — recovery is the retransmission machinery's job, exactly like
+// the real thing.
+func (n *Network) transmit(s *segment, now simclock.Time) {
+	n.stats.Segments++
+	// Fault gauntlet, in a fixed order so runs replay. A segment dies on
+	// the first match; later sites never observe it.
+	if until, down := n.linkDownUntil[pairKey(s.from.id, s.to.id)]; down && now < until {
+		n.drop(s, "link-down", now)
+		return
+	}
+	if d := n.inj.Hit(SitePartition, now); d.Fire && partitionCuts(d.Param, s) {
+		n.drop(s, "partition", now)
+		return
+	}
+	if d := n.inj.Hit(SiteFlap, now); d.Fire {
+		us := d.Param
+		if us <= 0 {
+			us = 500
+		}
+		n.linkDownUntil[pairKey(s.from.id, s.to.id)] = now.Add(simclock.Duration(us) * simclock.Microsecond)
+		n.drop(s, "flap", now)
+		return
+	}
+	if d := n.inj.Hit(SiteLoss, now); d.Fire {
+		n.drop(s, "loss", now)
+		return
+	}
+	if site := n.extraDropSite(s); site != "" {
+		if d := n.inj.Hit(site, now); d.Fire {
+			n.drop(s, "site:"+site, now)
+			return
+		}
+	}
+	var extra simclock.Duration
+	if d := n.inj.Hit(SiteDelay, now); d.Fire {
+		us := d.Param
+		if us <= 0 {
+			us = 100
+		}
+		extra = simclock.Duration(us) * simclock.Microsecond
+	}
+	// Egress serialization on the sender's access link, then propagation
+	// over both links. FIFO per egress port keeps the order deterministic.
+	depart := now
+	if busy := n.busyUntil[s.from.id]; busy > depart {
+		depart = busy
+	}
+	if bw := s.from.link.Bandwidth; bw > 0 {
+		depart = depart.Add(simclock.Duration(int64(s.size) * int64(simclock.Second) / bw))
+	}
+	n.busyUntil[s.from.id] = depart
+	arrive := depart.Add(s.from.link.Latency + s.to.link.Latency + extra)
+	n.sched.Schedule(arrive, func(at simclock.Time) { n.deliver(s, at) })
+}
+
+// partitionCuts decides whether a partition payload cuts this segment:
+// 0 cuts everything, +n cuts traffic into node n, -n cuts traffic out of
+// node n.
+func partitionCuts(param int64, s *segment) bool {
+	switch {
+	case param == 0:
+		return true
+	case param > 0:
+		return s.to.id == int(param)
+	default:
+		return s.from.id == int(-param)
+	}
+}
+
+func (n *Network) extraDropSite(s *segment) string {
+	switch s.kind {
+	case segData:
+		return n.params.DataDropSite
+	case segProbe, segProbeReply:
+		return n.params.ProbeDropSite
+	}
+	return ""
+}
+
+func (n *Network) drop(s *segment, reason string, now simclock.Time) {
+	n.stats.Dropped++
+	if n.tr != nil {
+		n.tr.Instant("fabric", n.trTrack, "wire:drop", now,
+			telemetry.A("kind", s.kind.String()),
+			telemetry.A("from", s.from.name),
+			telemetry.A("to", s.to.name),
+			telemetry.A("reason", reason))
+	}
+}
+
+// deliver lands a segment at its destination NIC.
+func (n *Network) deliver(s *segment, now simclock.Time) {
+	n.stats.Delivered++
+	switch s.kind {
+	case segSYN:
+		n.deliverSYN(s, now)
+	case segSYNACK:
+		s.conn.clientSYNACK(now)
+	case segRST:
+		s.conn.clientRST(s.rstErr, now)
+	case segData:
+		if s.response {
+			s.conn.clientResponse(s.seq, now)
+		} else {
+			s.conn.serverRequest(s.seq, now)
+		}
+	case segACK:
+		s.conn.ack(s.seq)
+	case segProbe:
+		n.deliverProbe(s, now)
+	case segProbeReply:
+		n.probeReturned(s.probeID, now)
+	}
+}
+
+// deliverSYN is the server half of the handshake: liveness gate, then
+// the SYN-backlog handoff — queue and SYN-ACK, or refuse with RST when
+// the backlog is at cap (ECONNREFUSED at the wire).
+func (n *Network) deliverSYN(s *segment, now simclock.Time) {
+	c := s.conn
+	if c.closed {
+		return // client already gave up
+	}
+	if !s.to.up(now) {
+		n.send(&segment{kind: segRST, from: s.to, to: s.from, size: ctlBytes, conn: c, seq: s.seq, rstErr: ErrRefused}, now)
+		return
+	}
+	if c.srvQueued || c.srvAccepted {
+		// Duplicate SYN (lost SYN-ACK): re-answer idempotently.
+		n.send(&segment{kind: segSYNACK, from: s.to, to: s.from, size: ctlBytes, conn: c, seq: s.seq}, now)
+		return
+	}
+	l := s.to.listeners[c.raddr.Port]
+	if l == nil {
+		n.send(&segment{kind: segRST, from: s.to, to: s.from, size: ctlBytes, conn: c, seq: s.seq, rstErr: ErrRefused}, now)
+		return
+	}
+	if l.pending() >= l.cap {
+		n.stats.Overflows++
+		n.send(&segment{kind: segRST, from: s.to, to: s.from, size: ctlBytes, conn: c, seq: s.seq, rstErr: ErrOverflow}, now)
+		return
+	}
+	c.srvQueued = true
+	l.backlog = append(l.backlog, c)
+	n.send(&segment{kind: segSYNACK, from: s.to, to: s.from, size: ctlBytes, conn: c, seq: s.seq}, now)
+	if l.OnPending != nil {
+		l.OnPending(now)
+	}
+}
+
+// send transmits a fire-and-forget control segment (no retransmission:
+// recovery rides on the peer's timers).
+func (n *Network) send(s *segment, now simclock.Time) { n.transmit(s, now) }
+
+// --- probes ---
+
+type probe struct {
+	done bool
+	cb   func(ok bool, now simclock.Time)
+}
+
+// Probe sends one heartbeat datagram from -> to and reports the verdict
+// exactly once: true when the reply lands before timeout, false
+// otherwise. Probes model UDP heartbeats: no retransmission — a lost
+// probe IS a failed probe, which is what makes one-sided partitions
+// visible to the health checker as timeouts.
+func (n *Network) Probe(from, to *Node, timeout simclock.Duration, cb func(ok bool, now simclock.Time)) {
+	n.probeSeq++
+	id := n.probeSeq
+	n.stats.ProbesSent++
+	pr := &probe{cb: cb}
+	n.probes()[id] = pr
+	now := n.sched.Now()
+	n.transmit(&segment{kind: segProbe, from: from, to: to, size: ctlBytes, probeID: id}, now)
+	n.sched.Schedule(now.Add(timeout), func(at simclock.Time) {
+		if !pr.done {
+			pr.done = true
+			delete(n.probes(), id)
+			cb(false, at)
+		}
+	})
+}
+
+// probes is the per-network in-flight probe table.
+func (n *Network) probes() map[int]*probe {
+	if n.probeTable == nil {
+		n.probeTable = make(map[int]*probe)
+	}
+	return n.probeTable
+}
+
+func (n *Network) deliverProbe(s *segment, now simclock.Time) {
+	if !s.to.up(now) {
+		return // a dead VM answers nothing
+	}
+	n.transmit(&segment{kind: segProbeReply, from: s.to, to: s.from, size: ctlBytes, probeID: s.probeID}, now)
+}
+
+func (n *Network) probeReturned(id int, now simclock.Time) {
+	pr := n.probes()[id]
+	if pr == nil || pr.done {
+		return
+	}
+	pr.done = true
+	delete(n.probes(), id)
+	n.stats.ProbesOK++
+	pr.cb(true, now)
+}

@@ -1,0 +1,522 @@
+package fabric
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"lupine/internal/faults"
+	"lupine/internal/guest"
+	"lupine/internal/simclock"
+)
+
+// testSched is a minimal deterministic event engine: events pop in
+// (time, insertion-seq) order, exactly like the fleet's heap the fabric
+// shares in production.
+type testSched struct {
+	now  simclock.Time
+	seq  int
+	heap schedHeap
+}
+
+type schedEvent struct {
+	at  simclock.Time
+	seq int
+	fn  func(now simclock.Time)
+}
+
+type schedHeap []*schedEvent
+
+func (h schedHeap) Len() int { return len(h) }
+func (h schedHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h schedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *schedHeap) Push(x interface{}) { *h = append(*h, x.(*schedEvent)) }
+func (h *schedHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+func (s *testSched) Now() simclock.Time { return s.now }
+
+func (s *testSched) Schedule(at simclock.Time, fn func(now simclock.Time)) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.heap, &schedEvent{at: at, seq: s.seq, fn: fn})
+}
+
+// Run drains the heap up to and including horizon.
+func (s *testSched) Run(horizon simclock.Time) {
+	for s.heap.Len() > 0 {
+		ev := s.heap[0]
+		if ev.at > horizon {
+			break
+		}
+		heap.Pop(&s.heap)
+		s.now = ev.at
+		ev.fn(s.now)
+	}
+	if horizon > s.now {
+		s.now = horizon
+	}
+}
+
+const ms = simclock.Millisecond
+
+func TestParseCIDR(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantErr bool
+		hosts   int
+	}{
+		{"10.0.0.0/16", false, 65534},
+		{"192.168.1.0/24", false, 254},
+		{"10.0.0.0/30", false, 2},
+		{"10.0.0.0", true, 0},      // missing prefix
+		{"10.0.0.0/31", true, 0},   // prefix out of range
+		{"10.0.0.1/24", true, 0},   // host bits set
+		{"10.0.0/24", true, 0},     // not dotted-quad
+		{"10.0.0.256/24", true, 0}, // bad octet
+	}
+	for _, c := range cases {
+		sub, err := ParseCIDR(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseCIDR(%q): want error, got %v", c.in, sub)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseCIDR(%q): %v", c.in, err)
+			continue
+		}
+		if sub.Hosts() != c.hosts {
+			t.Errorf("ParseCIDR(%q).Hosts() = %d, want %d", c.in, sub.Hosts(), c.hosts)
+		}
+	}
+}
+
+func TestSubnetAllocSequentialAndExhaustion(t *testing.T) {
+	sub, err := ParseCIDR("10.1.0.0/30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := sub.Alloc()
+	b, _ := sub.Alloc()
+	if a.String() != "10.1.0.1" || b.String() != "10.1.0.2" {
+		t.Fatalf("alloc sequence = %s, %s; want 10.1.0.1, 10.1.0.2", a, b)
+	}
+	if _, err := sub.Alloc(); err == nil {
+		t.Fatal("third Alloc on a /30 should exhaust")
+	}
+}
+
+// TestSOMAXCONNParity pins the fabric's backlog cap to the guest network
+// stack's: the fabric models the wire in front of guest/net.go listeners,
+// so the two listen(2) clamps must agree.
+func TestSOMAXCONNParity(t *testing.T) {
+	if SOMAXCONN != guest.SOMAXCONN {
+		t.Fatalf("fabric.SOMAXCONN = %d, guest.SOMAXCONN = %d; the clamps must match", SOMAXCONN, guest.SOMAXCONN)
+	}
+}
+
+// newTestNet builds a one-client, one-server network on a fresh test
+// scheduler. The server auto-accepts and echoes a response unless
+// noServe is set.
+func newTestNet(t *testing.T, inj *faults.Injector, params Params) (*testSched, *Network, *Node, *Node, *Listener) {
+	t.Helper()
+	sched := &testSched{}
+	net, err := New(params, sched, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := net.AddNode("client", LinkSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := net.AddNode("server", LinkSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lst := server.Listen(80, 16)
+	return sched, net, client, server, lst
+}
+
+type connResult struct {
+	established bool
+	served      bool
+	err         error
+}
+
+func dialAndSend(sched *testSched, client, server *Node, reqBytes, respBytes int, respTimeout simclock.Duration, serve bool, lst *Listener) *connResult {
+	res := &connResult{}
+	if serve {
+		lst.OnPending = func(now simclock.Time) {
+			for {
+				c := lst.Accept(now)
+				if c == nil {
+					return
+				}
+				cc := c
+				c.WhenRequest(now, func(at simclock.Time) {
+					cc.Respond(respBytes, at)
+				})
+			}
+		}
+	}
+	client.Dial(server, 80, ConnCallbacks{
+		Established: func(c *Conn, now simclock.Time) {
+			res.established = true
+			c.SendRequest(reqBytes, respTimeout, now)
+		},
+		Failed:   func(c *Conn, err error, now simclock.Time) { res.err = err },
+		Response: func(c *Conn, now simclock.Time) { res.served = true },
+	})
+	return res
+}
+
+func TestCleanWireRequestResponse(t *testing.T) {
+	sched, net, client, server, lst := newTestNet(t, nil, DefaultParams())
+	res := dialAndSend(sched, client, server, 1024, 4096, 10*ms, true, lst)
+	sched.Run(simclock.Time(100 * ms))
+	if !res.established || !res.served || res.err != nil {
+		t.Fatalf("clean wire: established=%v served=%v err=%v", res.established, res.served, res.err)
+	}
+	st := net.Stats()
+	if st.Established != 1 || st.Retransmits != 0 || st.Dropped != 0 {
+		t.Fatalf("clean wire stats: %+v", st)
+	}
+	if st.Delivered != st.Segments {
+		t.Fatalf("clean wire should deliver every segment: %+v", st)
+	}
+}
+
+func TestNoListenerRefused(t *testing.T) {
+	sched, net, client, server, _ := newTestNet(t, nil, DefaultParams())
+	res := &connResult{}
+	client.Dial(server, 8080, ConnCallbacks{ // nothing listens on 8080
+		Failed: func(c *Conn, err error, now simclock.Time) { res.err = err },
+	})
+	sched.Run(simclock.Time(100 * ms))
+	if !errors.Is(res.err, ErrRefused) {
+		t.Fatalf("dial to unbound port: err=%v, want ErrRefused", res.err)
+	}
+	if net.Stats().Refused != 1 {
+		t.Fatalf("stats: %+v", net.Stats())
+	}
+}
+
+func TestDeadServerRefused(t *testing.T) {
+	sched, _, client, server, _ := newTestNet(t, nil, DefaultParams())
+	server.SetAlive(func(now simclock.Time) bool { return false })
+	res := &connResult{}
+	client.Dial(server, 80, ConnCallbacks{
+		Failed: func(c *Conn, err error, now simclock.Time) { res.err = err },
+	})
+	sched.Run(simclock.Time(100 * ms))
+	if !errors.Is(res.err, ErrRefused) {
+		t.Fatalf("dial to dead server: err=%v, want ErrRefused", res.err)
+	}
+}
+
+// TestBacklogOverflowSheds fills a backlog of exactly cap and checks the
+// overflow connection is refused with ErrOverflow — the load balancer's
+// shed signal — while the queued ones survive.
+func TestBacklogOverflowSheds(t *testing.T) {
+	sched := &testSched{}
+	net, err := New(DefaultParams(), sched, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, _ := net.AddNode("client", LinkSpec{})
+	server, _ := net.AddNode("server", LinkSpec{})
+	lst := server.Listen(80, 2) // cap 2, nobody accepting
+	var errs []error
+	for i := 0; i < 3; i++ {
+		client.Dial(server, 80, ConnCallbacks{
+			Failed: func(c *Conn, err error, now simclock.Time) { errs = append(errs, err) },
+		})
+	}
+	sched.Run(simclock.Time(ms))
+	if len(errs) != 1 || !errors.Is(errs[0], ErrOverflow) {
+		t.Fatalf("overflow errors = %v, want exactly one ErrOverflow", errs)
+	}
+	if lst.Pending() != 2 {
+		t.Fatalf("backlog pending = %d, want 2", lst.Pending())
+	}
+	if net.Stats().Overflows != 1 {
+		t.Fatalf("stats: %+v", net.Stats())
+	}
+}
+
+// TestListenClamp checks the listen(2) clamping rules.
+func TestListenClamp(t *testing.T) {
+	sched := &testSched{}
+	net, _ := New(DefaultParams(), sched, nil)
+	nd, _ := net.AddNode("n", LinkSpec{})
+	if l := nd.Listen(1, 0); l.cap != 1 {
+		t.Errorf("backlog 0 clamps to %d, want 1", l.cap)
+	}
+	if l := nd.Listen(2, 100000); l.cap != SOMAXCONN {
+		t.Errorf("backlog 100000 clamps to %d, want %d", l.cap, SOMAXCONN)
+	}
+}
+
+// TestLossRetransmitRecovers drops the first data segment; the sender's
+// RTO fires, the retransmission lands, and the request completes anyway.
+func TestLossRetransmitRecovers(t *testing.T) {
+	inj := faults.MustNew(faults.Plan{Seed: 7, Rules: []faults.Rule{
+		{Site: SiteLoss, NthHit: 5}, // 5th segment on the wire: the request data
+	}})
+	sched, net, client, server, lst := newTestNet(t, inj, DefaultParams())
+	res := dialAndSend(sched, client, server, 1024, 4096, 50*ms, true, lst)
+	sched.Run(simclock.Time(100 * ms))
+	if !res.served || res.err != nil {
+		t.Fatalf("lossy wire: served=%v err=%v", res.served, res.err)
+	}
+	st := net.Stats()
+	if st.Dropped != 1 || st.Retransmits < 1 {
+		t.Fatalf("lossy wire stats: %+v", st)
+	}
+}
+
+// TestAsymmetricPartitionTimesOut cuts traffic OUT OF the server (its
+// SYN-ACKs vanish) while traffic INTO it still flows: the client
+// retransmits its SYN into a one-way street and fails with ErrTimeout —
+// the signature one-sided-partition behavior the breaker tests build on.
+func TestAsymmetricPartitionTimesOut(t *testing.T) {
+	sched := &testSched{}
+	params := DefaultParams()
+	inj := faults.MustNew(faults.Plan{Seed: 3, Rules: []faults.Rule{
+		{Site: SitePartition, Prob: 1, Param: -2}, // cut segments out of node 2
+	}})
+	net, err := New(params, sched, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, _ := net.AddNode("client", LinkSpec{}) // id 1
+	server, _ := net.AddNode("server", LinkSpec{}) // id 2
+	lst := server.Listen(80, 16)
+	// Nobody accepts: the backlog retains what the server heard, so the
+	// test can prove the SYN crossed while the SYN-ACK did not.
+	res := dialAndSend(sched, client, server, 1024, 4096, 50*ms, false, lst)
+	sched.Run(simclock.Time(200 * ms))
+	if !errors.Is(res.err, ErrTimeout) {
+		t.Fatalf("one-sided partition: err=%v, want ErrTimeout", res.err)
+	}
+	if res.established {
+		t.Fatal("SYN-ACK crossed a partition that should cut it")
+	}
+	st := net.Stats()
+	// The server heard the SYN (traffic in still flows) and queued the
+	// connection; only its answers died. The entry is a corpse by now —
+	// the client gave up — but it must be THERE.
+	if len(lst.backlog) == 0 {
+		t.Fatal("server never heard the SYN: partition cut the wrong direction")
+	}
+	if st.Retransmits != DefaultParams().ConnectRetries {
+		t.Fatalf("SYN retransmits = %d, want %d", st.Retransmits, DefaultParams().ConnectRetries)
+	}
+}
+
+// TestFlapDropsThenHeals fires one flap on the 5th segment (the request
+// data): the link goes down, retransmissions during the outage die on
+// the floor, and the first retransmission after the heal completes the
+// request.
+func TestFlapDropsThenHeals(t *testing.T) {
+	inj := faults.MustNew(faults.Plan{Seed: 11, Rules: []faults.Rule{
+		{Site: SiteFlap, NthHit: 5, Param: 300}, // 300 µs outage
+	}})
+	sched, net, client, server, lst := newTestNet(t, inj, DefaultParams())
+	res := dialAndSend(sched, client, server, 1024, 4096, 50*ms, true, lst)
+	sched.Run(simclock.Time(100 * ms))
+	if !res.served || res.err != nil {
+		t.Fatalf("flapped wire: served=%v err=%v", res.served, res.err)
+	}
+	st := net.Stats()
+	if st.Dropped < 1 || st.Retransmits < 1 {
+		t.Fatalf("flap should drop and force retransmission: %+v", st)
+	}
+}
+
+// TestAcceptSkipsDeadEntries fills a backlog, times the clients out, and
+// checks Accept discards the corpses.
+func TestAcceptSkipsDeadEntries(t *testing.T) {
+	sched := &testSched{}
+	params := DefaultParams()
+	net, _ := New(params, sched, nil)
+	client, _ := net.AddNode("client", LinkSpec{})
+	server, _ := net.AddNode("server", LinkSpec{})
+	lst := server.Listen(80, 4)
+	var conns []*Conn
+	for i := 0; i < 2; i++ {
+		conns = append(conns, client.Dial(server, 80, ConnCallbacks{}))
+	}
+	sched.Run(simclock.Time(ms))
+	if lst.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", lst.Pending())
+	}
+	conns[0].fail(ErrTimeout, sched.Now()) // client 0 gives up
+	if lst.Pending() != 1 {
+		t.Fatalf("pending after client death = %d, want 1", lst.Pending())
+	}
+	got := lst.Accept(sched.Now())
+	if got != conns[1] {
+		t.Fatalf("Accept returned %v, want the live conn", got)
+	}
+	if lst.Accept(sched.Now()) != nil {
+		t.Fatal("Accept after draining should return nil")
+	}
+}
+
+// storm runs a many-connection scenario under loss+delay+flap and
+// returns a transcript string: same seed must mean byte-identical
+// transcripts.
+func storm(seed uint64) string {
+	inj := faults.MustNew(faults.Plan{Seed: seed, Rules: []faults.Rule{
+		{Site: SiteLoss, Prob: 0.2},
+		{Site: SiteDelay, Prob: 0.1, Param: 150},
+		{Site: SiteFlap, Prob: 0.02, Param: 400},
+	}})
+	sched := &testSched{}
+	params := DefaultParams()
+	params.Seed = seed
+	net, _ := New(params, sched, inj)
+	client, _ := net.AddNode("client", LinkSpec{})
+	server, _ := net.AddNode("server", LinkSpec{})
+	lst := server.Listen(80, 8)
+	lst.OnPending = func(now simclock.Time) {
+		for {
+			c := lst.Accept(now)
+			if c == nil {
+				return
+			}
+			cc := c
+			c.WhenRequest(now, func(at simclock.Time) { cc.Respond(2048, at) })
+		}
+	}
+	var sb strings.Builder
+	for i := 0; i < 40; i++ {
+		id := i
+		launch := simclock.Time(i) * simclock.Time(100*simclock.Microsecond)
+		sched.Schedule(launch, func(now simclock.Time) {
+			client.Dial(server, 80, ConnCallbacks{
+				Established: func(c *Conn, at simclock.Time) { c.SendRequest(512, 20*ms, at) },
+				Failed: func(c *Conn, err error, at simclock.Time) {
+					fmt.Fprintf(&sb, "%d fail %v @%v\n", id, err, at)
+				},
+				Response: func(c *Conn, at simclock.Time) {
+					fmt.Fprintf(&sb, "%d ok rexmit=%d @%v\n", id, c.Retransmits(), at)
+				},
+			})
+		})
+	}
+	sched.Run(simclock.Time(500 * ms))
+	fmt.Fprintf(&sb, "stats %+v\n", net.Stats())
+	return sb.String()
+}
+
+func TestStormDeterminism(t *testing.T) {
+	a, b := storm(42), storm(42)
+	if a != b {
+		t.Fatalf("same-seed storms diverged:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	if c := storm(43); c == a {
+		t.Fatal("different seeds produced identical storms: jitter stream not seeded")
+	}
+	// The storm must actually exercise the machinery it claims to.
+	if !strings.Contains(a, "rexmit=") {
+		t.Fatalf("storm transcript has no successes:\n%s", a)
+	}
+}
+
+// TestProbeVerdicts covers the heartbeat datagram: clean reply, dead
+// target silence, and a lost probe all resolving exactly once.
+func TestProbeVerdicts(t *testing.T) {
+	sched := &testSched{}
+	net, _ := New(DefaultParams(), sched, nil)
+	lb, _ := net.AddNode("lb", LinkSpec{})
+	vm, _ := net.AddNode("vm", LinkSpec{})
+
+	verdicts := 0
+	var lastOK bool
+	record := func(ok bool, now simclock.Time) { verdicts++; lastOK = ok }
+
+	net.Probe(lb, vm, ms, record)
+	sched.Run(simclock.Time(10 * ms))
+	if verdicts != 1 || !lastOK {
+		t.Fatalf("clean probe: verdicts=%d ok=%v", verdicts, lastOK)
+	}
+
+	vm.SetAlive(func(now simclock.Time) bool { return false })
+	net.Probe(lb, vm, ms, record)
+	sched.Run(simclock.Time(20 * ms))
+	if verdicts != 2 || lastOK {
+		t.Fatalf("dead-target probe: verdicts=%d ok=%v", verdicts, lastOK)
+	}
+	st := net.Stats()
+	if st.ProbesSent != 2 || st.ProbesOK != 1 {
+		t.Fatalf("probe stats: %+v", st)
+	}
+}
+
+// TestProbeLostIsFailed drops the probe datagram itself: no retransmit,
+// the timeout is the verdict — how one-sided partitions become visible
+// to health checking.
+func TestProbeLostIsFailed(t *testing.T) {
+	inj := faults.MustNew(faults.Plan{Seed: 5, Rules: []faults.Rule{
+		{Site: SiteLoss, NthHit: 1},
+	}})
+	sched := &testSched{}
+	net, _ := New(DefaultParams(), sched, inj)
+	lb, _ := net.AddNode("lb", LinkSpec{})
+	vm, _ := net.AddNode("vm", LinkSpec{})
+	verdicts, ok := 0, true
+	net.Probe(lb, vm, ms, func(got bool, now simclock.Time) { verdicts++; ok = got })
+	sched.Run(simclock.Time(10 * ms))
+	if verdicts != 1 || ok {
+		t.Fatalf("lost probe: verdicts=%d ok=%v, want one false verdict", verdicts, ok)
+	}
+}
+
+// TestBandwidthSerializes checks the egress link serializes back-to-back
+// segments: the second departs after the first finishes transmitting.
+func TestBandwidthSerializes(t *testing.T) {
+	sched := &testSched{}
+	params := DefaultParams()
+	params.DefaultLink = LinkSpec{Latency: simclock.Microsecond, Bandwidth: 1000 * 1000} // 1 MB/s: 1 ms per KB
+	net, _ := New(params, sched, nil)
+	a, _ := net.AddNode("a", LinkSpec{})
+	b, _ := net.AddNode("b", LinkSpec{})
+	var arrivals []simclock.Time
+	for i := 0; i < 2; i++ {
+		net.transmit(&segment{kind: segProbe, from: a, to: b, size: 1000, probeID: 1000 + i}, sched.Now())
+	}
+	// Intercept via probe delivery: b is up, replies happen, but we only
+	// care about arrival spacing — watch deliver times through a shim.
+	for sched.heap.Len() > 0 {
+		ev := sched.heap[0]
+		heap.Pop(&sched.heap)
+		sched.now = ev.at
+		arrivals = append(arrivals, ev.at)
+		// don't run fn: we only needed the arrival instants of the two probes
+		if len(arrivals) == 2 {
+			break
+		}
+	}
+	gap := arrivals[1].Sub(arrivals[0])
+	if gap != simclock.Millisecond {
+		t.Fatalf("egress gap = %v, want 1ms (1000 B at 1 MB/s)", gap)
+	}
+}

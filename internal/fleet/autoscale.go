@@ -54,10 +54,10 @@ func launchTimeline(l Launch) Timeline {
 	return l.Timeline
 }
 
-// demand is the autoscaler's signal: requests being served plus requests
-// waiting for capacity.
+// demand is the autoscaler's signal: outstanding connections across the
+// pool — requests being served plus requests waiting in backlogs.
 func (f *Fleet) demand() int {
-	n := len(f.queue)
+	n := 0
 	for _, b := range f.backends {
 		if !b.retired {
 			n += b.inflight

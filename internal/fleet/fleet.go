@@ -1,20 +1,24 @@
 // Package fleet is the resilience layer between clients and a pool of
 // supervised unikernel VMs: a deterministic, virtual-time front-end that
 // load-balances request traffic across backends whose ground truth is a
-// supervised service timeline (internal/vmm). It implements the
-// production playbook the paper's deployment story needs — heartbeat
-// health checks, per-backend circuit breakers, bounded retries under a
-// fleet-wide retry budget, admission control with explicit load-shed
-// accounting, and rolling kernel upgrades with surge capacity — all on a
-// simclock.Clock with faults injected through internal/faults, so a
-// fixed seed replays bit-for-bit.
+// supervised service timeline (internal/vmm). Since the fabric refactor
+// every byte between the balancer and a backend crosses
+// internal/fabric's virtual wire: dispatches are TCP-like connections
+// with SYN backlogs and retransmission, health probes are heartbeat
+// datagrams that a partition can eat, and the shed path is the
+// backend's own listener backlog overflowing — so breakers, retries and
+// shed accounting are measured against a network that can actually lose
+// a packet. All of it runs on one virtual-time event heap with faults
+// injected through internal/faults, so a fixed seed replays bit-for-bit.
 package fleet
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"strconv"
 
+	"lupine/internal/fabric"
 	"lupine/internal/faults"
 	"lupine/internal/metrics"
 	"lupine/internal/simclock"
@@ -22,20 +26,44 @@ import (
 )
 
 // Fleet-owned fault-injection sites: the front-end's own wire can fail.
+// Both are wired into the fabric as extra per-segment drop sites, so
+// plans written against them now lose real segments on the virtual wire.
 const (
-	// SiteProbeDrop loses a health probe in flight; the checker counts a
-	// false-negative failure against the backend.
+	// SiteProbeDrop loses a health-probe datagram (or its reply) in
+	// flight; the checker's timeout counts a false-negative failure
+	// against the backend.
 	SiteProbeDrop = "fleet/probe-drop"
-	// SiteDispatchDrop loses a dispatched request between the balancer
-	// and an otherwise healthy backend; the sender times out and retries.
+	// SiteDispatchDrop loses a request or response payload segment
+	// between the balancer and an otherwise healthy backend; the sender
+	// retransmits and may time the connection out.
 	SiteDispatchDrop = "fleet/dispatch-drop"
 )
 
 func init() {
 	faults.RegisterSite(SiteProbeDrop, "fleet",
-		"a health probe is lost in flight; the backend is charged a probe failure")
+		"a health probe datagram is lost on the fabric; the backend is charged a probe failure")
 	faults.RegisterSite(SiteDispatchDrop, "fleet",
-		"a dispatched request is lost on the wire; the client times out and retries")
+		"a dispatched payload segment is lost on the fabric; the sender retransmits, then times out")
+}
+
+// NetConfig tunes the virtual wire the fleet runs on. Zero values take
+// fabric defaults where the fabric has them.
+type NetConfig struct {
+	CIDR        string            // address block for the pool (default fabric's)
+	LinkLatency simclock.Duration // one-way per-NIC propagation
+	Bandwidth   int64             // per-NIC egress bytes per virtual second
+
+	RequestBytes  int // payload size of a dispatched request
+	ResponseBytes int // payload size of a response
+
+	RTO            simclock.Duration // initial retransmission timeout
+	RTOJitter      simclock.Duration // seeded jitter added per backoff step
+	RTOFactor      int               // exponential backoff factor
+	MaxRetransmits int               // data retransmissions before ErrTimeout
+	ConnectRetries int               // SYN retransmissions before ErrTimeout
+
+	ProbeTimeout    simclock.Duration // heartbeat verdict deadline
+	ResponseTimeout simclock.Duration // request-to-response deadline on a connection
 }
 
 // Config tunes the front-end. All durations are virtual.
@@ -55,20 +83,25 @@ type Config struct {
 	ServiceJitter simclock.Duration
 
 	// Capacity and admission control: each backend serves at most
-	// BackendSlots requests concurrently; beyond that, requests wait in a
-	// bounded pending queue of QueueDepth and are shed once it is full.
+	// BackendSlots requests concurrently; beyond that, connections wait
+	// in its listener's SYN backlog of depth QueueDepth (clamped by the
+	// fabric's listen(2) rules) and overflow is refused at the wire — the
+	// shed path IS the backlog overflowing.
 	BackendSlots int
 	QueueDepth   int
 
-	// Failure detection and retry policy. A request hitting a dead
-	// backend is refused after FailFast; a request lost on the wire costs
-	// a DropTimeout. Retries back off exponentially (RetryBackoff,
-	// RetryFactor) bounded by the per-request Deadline and by the
-	// fleet-wide retry budget: a token bucket holding at most RetryBurst
-	// tokens, refilled by RetryBudget per completed request, so a storm
-	// sheds load instead of amplifying it.
-	FailFast     simclock.Duration
-	DropTimeout  simclock.Duration
+	// Policy selects how the balancer spreads connections:
+	// PolicyRR (default) round-robin, PolicyLeast least-loaded,
+	// PolicyHash consistent-hash connection affinity over HashClients
+	// synthetic client keys.
+	Policy      string
+	HashClients int
+
+	// Retry policy for failed dispatches. Retries back off exponentially
+	// (RetryBackoff, RetryFactor) bounded by the per-request Deadline and
+	// by the fleet-wide retry budget: a token bucket holding at most
+	// RetryBurst tokens, refilled by RetryBudget per completed request,
+	// so a storm sheds load instead of amplifying it.
 	Deadline     simclock.Duration
 	MaxRetries   int
 	RetryBackoff simclock.Duration
@@ -77,17 +110,29 @@ type Config struct {
 	RetryBurst   float64
 
 	// Heartbeat health checking: every ProbeInterval each in-rotation
-	// backend is probed; ProbeFailAfter consecutive misses mark it down,
-	// ProbeRiseAfter consecutive successes bring it back.
+	// backend is probed over the fabric; ProbeFailAfter consecutive
+	// misses mark it down, ProbeRiseAfter consecutive successes bring it
+	// back.
 	ProbeInterval  simclock.Duration
 	ProbeFailAfter int
 	ProbeRiseAfter int
 
 	Breaker BreakerConfig
 
-	// Seed drives arrival and service jitter (independent streams).
+	// Net tunes the fabric under the pool.
+	Net NetConfig
+
+	// Seed drives arrival and service jitter and the fabric's
+	// retransmission jitter (independent streams).
 	Seed uint64
 }
+
+// Load-balancing policies.
+const (
+	PolicyRR    = "rr"    // round-robin (the default)
+	PolicyLeast = "least" // fewest outstanding connections
+	PolicyHash  = "hash"  // consistent-hash connection affinity
+)
 
 // DefaultConfig returns the tuning the fleetchaos experiment uses: a
 // pool comfortably over-provisioned when healthy, so every unavailability
@@ -105,8 +150,8 @@ func DefaultConfig() Config {
 		BackendSlots: 4,
 		QueueDepth:   32,
 
-		FailFast:     200 * us,
-		DropTimeout:  1 * ms,
+		Policy: PolicyRR,
+
 		Deadline:     10 * ms,
 		MaxRetries:   3,
 		RetryBackoff: 500 * us,
@@ -119,7 +164,22 @@ func DefaultConfig() Config {
 		ProbeRiseAfter: 2,
 
 		Breaker: BreakerConfig{FailThreshold: 5, OpenFor: 5 * ms, HalfOpenSuccesses: 2},
-		Seed:    42,
+
+		Net: NetConfig{
+			LinkLatency:     5 * us,
+			Bandwidth:       1250 * 1000 * 1000,
+			RequestBytes:    1500,
+			ResponseBytes:   8192,
+			RTO:             200 * us,
+			RTOJitter:       50 * us,
+			RTOFactor:       2,
+			MaxRetransmits:  4,
+			ConnectRetries:  3,
+			ProbeTimeout:    200 * us,
+			ResponseTimeout: 8 * ms,
+		},
+
+		Seed: 42,
 	}
 }
 
@@ -127,12 +187,15 @@ func DefaultConfig() Config {
 type Result struct {
 	Total        int // requests that arrived
 	OK           int // served within deadline
-	Shed         int // refused at admission: pending queue full
+	Shed         int // refused: backlog overflow at the wire, or no routable backend
 	Failed       int // dispatched but never served
-	DeadlineMiss int // subset of Failed+queue drops that ran out of deadline
+	DeadlineMiss int // subset of Failed that ran out of deadline
 	Retries      int // re-dispatches performed
 	BudgetDenied int // retries refused by the fleet-wide budget
 	BreakerOpens int // open transitions across all breakers
+	FalseTrips   int // breaker opens while the backend was actually alive (the wire lied)
+	Retransmits  int // fabric segments re-sent after a presumed loss
+	Events       int // virtual-time events executed (the heap's pop count)
 	Restarts     int // supervisor restarts summed over initial backends
 	MinActive    int // fewest structurally active backends at any instant
 	End          simclock.Time
@@ -153,7 +216,7 @@ type Result struct {
 	Mem      MemStats
 
 	// Latencies holds arrival-to-completion times of served requests, in
-	// arrival order.
+	// completion order.
 	Latencies []simclock.Duration
 }
 
@@ -217,28 +280,27 @@ func (q *eventQueue) Pop() interface{} {
 	return e
 }
 
-// queued is a pending request with its enqueue instant.
-type queued struct {
-	r  *request
-	at simclock.Time
-}
-
 // Fleet is the running front-end. Construct with New, drive with Run.
 type Fleet struct {
 	cfg      Config
 	clk      *simclock.Clock
 	backends []*Backend
-	inj      *faults.Injector // fleet-plane faults; nil = clean wire
+	inj      *faults.Injector // injected faults, fleet and fabric planes; nil = clean wire
+
+	net    *fabric.Network
+	lbNode *fabric.Node
 
 	arrivalRng *faults.Stream
 	serviceRng *faults.Stream
 
 	events eventQueue
 	seq    int
+	popped int
 
-	queue       []queued
 	retryTokens float64
 	rrNext      int
+	ring        []ringPoint
+	ringDirty   bool
 
 	plan     *UpgradePlan
 	upgraded bool // plan finished (or absent)
@@ -255,6 +317,7 @@ type Fleet struct {
 	// Telemetry (attached via Observe; nil = disabled, zero cost).
 	tr            *telemetry.Tracer
 	trTrack       string
+	netTrack      string // the fabric's lane (trTrack + "/net")
 	mOK           *telemetry.Counter
 	mShed         *telemetry.Counter
 	mFailed       *telemetry.Counter
@@ -267,7 +330,7 @@ type Fleet struct {
 }
 
 // New assembles a fleet over the initial backends. plan may be nil (no
-// rolling upgrade) and inj may be nil (no fleet-plane faults).
+// rolling upgrade) and inj may be nil (no faults anywhere on the wire).
 func New(cfg Config, backends []*Backend, plan *UpgradePlan, inj *faults.Injector) *Fleet {
 	return NewAutoscaled(cfg, backends, nil, plan, inj)
 }
@@ -289,6 +352,18 @@ func NewAutoscaled(cfg Config, backends []*Backend, scaler *AutoscalePolicy, pla
 		scaler:      scaler,
 	}
 	f.res.FullAt = -1
+
+	net, err := fabric.New(f.fabricParams(), f, inj)
+	if err != nil {
+		panic(fmt.Sprintf("fleet: bad fabric config: %v", err))
+	}
+	f.net = net
+	lb, err := net.AddNode("lb", fabric.LinkSpec{})
+	if err != nil {
+		panic(fmt.Sprintf("fleet: %v", err))
+	}
+	f.lbNode = lb
+
 	for _, b := range backends {
 		f.admit(b, 0)
 		f.res.Restarts += b.Timeline.Stats.Restarts
@@ -297,6 +372,46 @@ func NewAutoscaled(cfg Config, backends []*Backend, scaler *AutoscalePolicy, pla
 	f.notePool(0)
 	return f
 }
+
+// fabricParams maps the fleet's NetConfig onto the fabric, wiring the
+// legacy fleet drop sites in as extra per-segment faults.
+func (f *Fleet) fabricParams() fabric.Params {
+	nc := f.cfg.Net
+	p := fabric.DefaultParams()
+	if nc.CIDR != "" {
+		p.CIDR = nc.CIDR
+	}
+	if nc.LinkLatency != 0 || nc.Bandwidth != 0 {
+		p.DefaultLink = fabric.LinkSpec{Latency: nc.LinkLatency, Bandwidth: nc.Bandwidth}
+	}
+	if nc.RTO > 0 {
+		p.RTO = nc.RTO
+	}
+	if nc.RTOFactor > 0 {
+		p.RTOFactor = nc.RTOFactor
+	}
+	p.RTOJitter = nc.RTOJitter
+	if nc.MaxRetransmits > 0 {
+		p.MaxRetransmits = nc.MaxRetransmits
+	}
+	if nc.ConnectRetries > 0 {
+		p.ConnectRetries = nc.ConnectRetries
+	}
+	p.DataDropSite = SiteDispatchDrop
+	p.ProbeDropSite = SiteProbeDrop
+	p.Seed = f.cfg.Seed ^ 0xFA_B0_0C
+	return p
+}
+
+// Now and Schedule implement fabric.Scheduler, so wire events interleave
+// with dispatch, probe and autoscaler events on the one replayable heap.
+func (f *Fleet) Now() simclock.Time { return f.clk.Now() }
+
+// Schedule enqueues fn at virtual time at (never before now).
+func (f *Fleet) Schedule(at simclock.Time, fn func(now simclock.Time)) { f.schedule(at, fn) }
+
+// Net exposes the fabric under the pool for tables and tests.
+func (f *Fleet) Net() *fabric.Network { return f.net }
 
 // Run plays the whole workload and returns the result. Deterministic:
 // the only inputs are the config, the backend timelines, the upgrade
@@ -322,10 +437,13 @@ func (f *Fleet) Run() Result {
 	}
 	for f.events.Len() > 0 {
 		e := heap.Pop(&f.events).(*event)
+		f.popped++
 		f.clk.AdvanceTo(e.at)
 		e.fn(e.at)
 	}
 	f.res.End = f.clk.Now()
+	f.res.Events = f.popped
+	f.res.Retransmits = f.net.Stats().Retransmits
 	if f.mem != nil {
 		f.res.Mem = f.mem.Finish(f.res.End)
 	}
@@ -347,17 +465,32 @@ func (f *Fleet) jitter(rng *faults.Stream, span simclock.Duration) simclock.Dura
 	return simclock.Duration(rng.Intn(int(span)))
 }
 
-// admit places a backend in rotation at time now, attaching a fresh
-// breaker and an optimistic heartbeat verdict.
+// admit places a backend in rotation at time now: a NIC on the fabric
+// with a bound listener, a fresh breaker, and an optimistic heartbeat
+// verdict.
 func (f *Fleet) admit(b *Backend, now simclock.Time) {
 	b.start = now
 	b.admitted = true
 	b.healthy = true
 	b.breaker = NewBreaker(f.cfg.Breaker)
+
+	node, err := f.net.AddNode(b.Name, fabric.LinkSpec{})
+	if err != nil {
+		panic(fmt.Sprintf("fleet: admitting %s: %v", b.Name, err))
+	}
+	bb := b
+	node.SetAlive(func(t simclock.Time) bool { return bb.aliveAt(t) })
+	b.node = node
+	b.lst = node.Listen(servicePort, f.cfg.QueueDepth)
+	b.lst.OnPending = func(t simclock.Time) { f.serverPump(bb, t) }
+
 	f.backends = append(f.backends, b)
+	f.ringDirty = true
 	f.observeBackend(b, now)
-	f.pump(now)
 }
+
+// servicePort is the well-known port every backend serves on.
+const servicePort = 80
 
 func (f *Fleet) activeCount() int {
 	n := 0
@@ -375,66 +508,61 @@ func (f *Fleet) noteActive() {
 	}
 }
 
-// pick returns the next dispatchable backend with a free slot,
-// round-robin so load spreads and the choice stays deterministic.
-func (f *Fleet) pick(now simclock.Time) *Backend {
-	n := len(f.backends)
-	for i := 0; i < n; i++ {
-		b := f.backends[(f.rrNext+i)%n]
-		if b.dispatchable(now) && b.inflight < f.cfg.BackendSlots {
-			f.rrNext = (f.rrNext + i + 1) % n
-			return b
-		}
-	}
-	return nil
+// roomFor reports whether the balancer would open another connection to
+// b: its own outstanding-connection count must fit the backend's serving
+// slots plus its listener backlog. This is the balancer's bookkeeping
+// view; the fabric's backlog overflow is the ground-truth backstop when
+// that view is stale (retransmitted SYNs, partitions).
+func (f *Fleet) roomFor(b *Backend) bool {
+	return b.inflight < f.cfg.BackendSlots+f.cfg.QueueDepth
 }
 
 // admitRequest is the admission-control gate: refuse outright while the
-// memory-pressure ladder sheds, dispatch if a backend has capacity,
-// queue while the bounded queue has room, shed otherwise.
+// memory-pressure ladder sheds, otherwise route by policy and dispatch
+// over the fabric; with no routable backend the request is shed.
 func (f *Fleet) admitRequest(r *request, now simclock.Time) {
 	if f.mem != nil && r.attempts == 0 && f.mem.ShedAdmission(now) {
-		f.res.Shed++
 		f.res.MemSheds++
-		f.resolved++
-		f.mShed.Inc()
-		if f.tr != nil {
-			f.tr.Instant("fleet", f.trTrack, "shed", now, telemetry.A("reason", "mem-pressure"))
-		}
+		f.shed(r, "mem-pressure", now)
 		return
 	}
-	if b := f.pick(now); b != nil {
-		f.send(r, b, now)
+	b := f.pick(r, now)
+	if b == nil {
+		f.shed(r, "no-backend", now)
 		return
 	}
-	if len(f.queue) < f.cfg.QueueDepth {
-		f.queue = append(f.queue, queued{r: r, at: now})
-		return
-	}
+	f.dispatch(r, b, now)
+}
+
+// shed resolves a request refused without dispatch.
+func (f *Fleet) shed(r *request, reason string, now simclock.Time) {
 	f.res.Shed++
 	f.resolved++
 	f.mShed.Inc()
 	if f.tr != nil {
-		f.tr.Instant("fleet", f.trTrack, "shed", now, telemetry.A("reason", "queue-full"))
+		f.tr.Instant("fleet", f.trTrack, "shed", now,
+			telemetry.A("req", strconv.Itoa(r.id)),
+			telemetry.A("reason", reason))
 	}
 }
 
-// send dispatches r to b and schedules the outcome: ground truth decides
-// between completion, fast refusal (backend down), and wire loss.
-func (f *Fleet) send(r *request, b *Backend, now simclock.Time) {
+// dispatch opens a connection to b over the fabric and wires the
+// request's fate to the connection's. Ground truth decides at the wire:
+// a dead backend refuses the SYN, a full backlog RSTs with overflow (the
+// shed path), a partitioned or flapping link times the connection out
+// after retransmission exhaustion.
+func (f *Fleet) dispatch(r *request, b *Backend, now simclock.Time) {
 	r.attempts++
 	b.inflight++
-	svc := f.cfg.ServiceTime + f.jitter(f.serviceRng, f.cfg.ServiceJitter)
-	done := now.Add(svc)
-	dropped := false
-	if d := f.inj.Hit(SiteDispatchDrop, now); d.Fire {
-		dropped = true
-	}
-	if !dropped && b.aliveAt(now) && b.aliveAt(done) {
-		f.schedule(done, func(t simclock.Time) {
+	sent := now
+	f.lbNode.Dial(b.node, servicePort, fabric.ConnCallbacks{
+		Established: func(c *fabric.Conn, at simclock.Time) {
+			c.SendRequest(f.cfg.Net.RequestBytes, f.cfg.Net.ResponseTimeout, at)
+		},
+		Response: func(c *fabric.Conn, at simclock.Time) {
 			b.inflight--
 			b.served++
-			b.breaker.Success(t)
+			b.breaker.Success(at)
 			f.res.OK++
 			f.resolved++
 			// Served traffic earns retry budget back, capped at the burst.
@@ -442,46 +570,90 @@ func (f *Fleet) send(r *request, b *Backend, now simclock.Time) {
 			if f.retryTokens > f.cfg.RetryBurst {
 				f.retryTokens = f.cfg.RetryBurst
 			}
-			lat := t.Sub(r.arrival)
+			lat := at.Sub(r.arrival)
 			f.res.Latencies = append(f.res.Latencies, lat)
 			f.mOK.Inc()
 			f.hLatency.Observe(lat)
 			if f.tr != nil {
-				f.tr.Span("fleet", f.btrack(b), "dispatch", now, t,
-					telemetry.A("req", strconv.Itoa(r.id)))
+				f.tr.Span("fleet", f.btrack(b), "dispatch", sent, at,
+					telemetry.A("req", strconv.Itoa(r.id)),
+					telemetry.A("conn", strconv.Itoa(c.ID())))
 			}
-			f.maybeDrained(b, t)
-			f.pump(t)
-		})
+			f.maybeDrained(b, at)
+		},
+		Failed: func(c *fabric.Conn, err error, at simclock.Time) {
+			b.inflight--
+			if errors.Is(err, fabric.ErrOverflow) {
+				// The backend's backlog refused us: backpressure from a live
+				// server. Shed, and never charge the breaker for it.
+				f.shed(r, "backlog-overflow", at)
+				f.maybeDrained(b, at)
+				return
+			}
+			b.failed++
+			if f.tr != nil {
+				f.tr.Span("fleet", f.btrack(b), "dispatch-fail", sent, at,
+					telemetry.A("req", strconv.Itoa(r.id)),
+					telemetry.A("conn", strconv.Itoa(c.ID())),
+					telemetry.A("err", err.Error()))
+			}
+			f.breakerFailure(b, at)
+			f.maybeDrained(b, at)
+			f.retry(r, at)
+		},
+	})
+}
+
+// breakerFailure charges b's breaker with a data-plane failure and
+// accounts open transitions, flagging false trips — opens while the
+// backend was actually alive, meaning the wire (not the VM) failed.
+func (f *Fleet) breakerFailure(b *Backend, now simclock.Time) {
+	before := b.breaker.State()
+	b.breaker.Failure(now)
+	if b.breaker.State() == BreakerOpen {
+		f.res.BreakerOpens++
+		if before != BreakerOpen && b.aliveAt(now) {
+			f.res.FalseTrips++
+			if f.tr != nil {
+				f.tr.Instant("fleet", f.btrack(b), "breaker:false-trip", now)
+				f.tr.Trip(f.btrack(b), "false-trip", now)
+				// Dump the wire's own ring too: the retransmission storm
+				// that talked the breaker into this is the post-mortem.
+				f.tr.Trip(f.netTrack, "false-trip:"+b.Name, now)
+			}
+		}
+	}
+}
+
+// serverPump is the backend's accept loop: while the VM is up and has a
+// free serving slot, accept the oldest pending connection and schedule
+// its service. A VM that died with connections queued simply stops
+// pumping; the clients' own timeouts resolve them.
+func (f *Fleet) serverPump(b *Backend, now simclock.Time) {
+	if !b.aliveAt(now) {
 		return
 	}
-	// Failure detection: a dead backend refuses fast; a lost request
-	// costs the client its timeout.
-	wait := f.cfg.FailFast
-	if dropped {
-		wait = f.cfg.DropTimeout
+	for b.serving < f.cfg.BackendSlots {
+		c := b.lst.Accept(now)
+		if c == nil {
+			return
+		}
+		b.serving++
+		cc := c
+		bb := b
+		c.WhenRequest(now, func(at simclock.Time) {
+			svc := f.cfg.ServiceTime + f.jitter(f.serviceRng, f.cfg.ServiceJitter)
+			f.schedule(at.Add(svc), func(t simclock.Time) {
+				bb.serving--
+				// A VM that died mid-service answers nothing; the client's
+				// response deadline is how the front-end finds out.
+				if bb.aliveAt(t) {
+					cc.Respond(f.cfg.Net.ResponseBytes, t)
+				}
+				f.serverPump(bb, t)
+			})
+		})
 	}
-	f.schedule(now.Add(wait), func(t simclock.Time) {
-		b.inflight--
-		b.failed++
-		if f.tr != nil {
-			reason := "dead-backend"
-			if dropped {
-				reason = "wire-drop"
-			}
-			f.tr.Span("fleet", f.btrack(b), "dispatch-fail", now, t,
-				telemetry.A("req", strconv.Itoa(r.id)),
-				telemetry.A("reason", reason))
-		}
-		b.breaker.Failure(t)
-		if b.breaker.State() == BreakerOpen {
-			f.res.BreakerOpens++
-			f.schedule(b.breaker.ReopenAt(), f.pump)
-		}
-		f.maybeDrained(b, t)
-		f.retry(r, t)
-		f.pump(t)
-	})
 }
 
 // retry re-dispatches a failed request under the retry policy: bounded
@@ -534,67 +706,63 @@ func (f *Fleet) retry(r *request, now simclock.Time) {
 	f.schedule(retryAt, func(t simclock.Time) { f.admitRequest(r, t) })
 }
 
-// pump drains the pending queue into free capacity, dropping requests
-// whose deadline passed while they waited.
-func (f *Fleet) pump(now simclock.Time) {
-	for len(f.queue) > 0 {
-		head := f.queue[0]
-		if now.Sub(head.r.arrival) > f.cfg.Deadline {
-			f.queue = f.queue[1:]
-			f.res.Failed++
-			f.res.DeadlineMiss++
-			f.resolved++
-			continue
-		}
-		b := f.pick(now)
-		if b == nil {
-			return
-		}
-		f.queue = f.queue[1:]
-		f.send(head.r, b, now)
-	}
-}
-
-// probeTick is the heartbeat: probe every in-rotation backend against
-// ground truth (modulo injected probe drops), update the health verdict
-// and feed the breaker, then reschedule itself while work remains.
+// probeTick is the heartbeat: launch a probe datagram over the fabric at
+// every in-rotation backend, then reschedule itself while work remains.
+// Verdicts land asynchronously — a reply beats the timeout or it
+// doesn't — which is exactly what lets a one-sided partition produce
+// false-negative probe failures.
 func (f *Fleet) probeTick(now simclock.Time) {
 	for _, b := range f.backends {
 		if !b.admitted || b.retired {
 			continue
 		}
-		up := b.aliveAt(now)
-		if d := f.inj.Hit(SiteProbeDrop, now); d.Fire {
-			up = false // the probe never came back
-		}
-		if up {
-			b.probeOKs++
-			b.probeFails = 0
-			if !b.healthy && b.probeOKs >= f.cfg.ProbeRiseAfter {
-				b.healthy = true
-				if f.tr != nil {
-					f.tr.Instant("fleet", f.btrack(b), "health:up", now)
-				}
-			}
-			b.breaker.ProbeSuccess(now)
-		} else {
-			b.probeFails++
-			b.probeOKs = 0
-			if b.healthy && b.probeFails >= f.cfg.ProbeFailAfter {
-				b.healthy = false
-				if f.tr != nil {
-					f.tr.Instant("fleet", f.btrack(b), "health:down", now)
-				}
-			}
-			b.breaker.ProbeFailure(now)
-			if b.breaker.State() == BreakerOpen {
-				f.schedule(b.breaker.ReopenAt(), f.pump)
-			}
-		}
+		bb := b
+		f.net.Probe(f.lbNode, b.node, f.cfg.Net.ProbeTimeout, func(ok bool, at simclock.Time) {
+			f.probeVerdict(bb, ok, at)
+		})
 	}
-	f.pump(now)
 	if f.resolved < f.cfg.Requests || !f.upgraded {
 		f.schedule(now.Add(f.cfg.ProbeInterval), f.probeTick)
+	}
+}
+
+// probeVerdict applies one heartbeat result to the health view and the
+// breaker.
+func (f *Fleet) probeVerdict(b *Backend, ok bool, now simclock.Time) {
+	if b.retired {
+		return
+	}
+	if ok {
+		b.probeOKs++
+		b.probeFails = 0
+		if !b.healthy && b.probeOKs >= f.cfg.ProbeRiseAfter {
+			b.healthy = true
+			if f.tr != nil {
+				f.tr.Instant("fleet", f.btrack(b), "health:up", now)
+			}
+		}
+		b.breaker.ProbeSuccess(now)
+		// A recovered VM may have connections parked in its backlog.
+		f.serverPump(b, now)
+		return
+	}
+	b.probeFails++
+	b.probeOKs = 0
+	if b.healthy && b.probeFails >= f.cfg.ProbeFailAfter {
+		b.healthy = false
+		if f.tr != nil {
+			f.tr.Instant("fleet", f.btrack(b), "health:down", now)
+		}
+	}
+	before := b.breaker.State()
+	b.breaker.ProbeFailure(now)
+	if b.breaker.State() == BreakerOpen && before != BreakerOpen && b.aliveAt(now) {
+		f.res.FalseTrips++
+		if f.tr != nil {
+			f.tr.Instant("fleet", f.btrack(b), "breaker:false-trip", now)
+			f.tr.Trip(f.btrack(b), "false-trip", now)
+			f.tr.Trip(f.netTrack, "false-trip:"+b.Name, now)
+		}
 	}
 }
 

@@ -23,6 +23,8 @@ func (f *Fleet) Observe(tr *telemetry.Tracer, reg *telemetry.Registry, track str
 	}
 	f.tr = tr
 	f.trTrack = track
+	f.netTrack = track + "/net"
+	f.net.Observe(tr, f.netTrack)
 	f.mOK = reg.Counter(track + ".served")
 	f.mShed = reg.Counter(track + ".shed")
 	f.mFailed = reg.Counter(track + ".failed")

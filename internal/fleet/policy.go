@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"sort"
+
+	"lupine/internal/simclock"
+)
+
+// Load-balancing policies over the fabric. All three route only to
+// dispatchable backends (in rotation, heartbeat-healthy, breaker
+// willing) with room in the balancer's bookkeeping view; they differ in
+// which of those backends a request prefers.
+//
+//   - rr: classic round-robin, spreading connections evenly.
+//   - least: least-loaded — fewest outstanding connections, ties to the
+//     lowest pool index; adapts to slow or degraded links.
+//   - hash: consistent hashing of a synthetic client key onto a vnode
+//     ring, so a client's connections stick to one backend (connection
+//     affinity) and pool changes only remap the keys next to the change.
+
+// ringPoint is one vnode on the consistent-hash ring.
+type ringPoint struct {
+	hash uint64
+	b    *Backend
+}
+
+// ringVnodes is how many ring points each backend contributes; more
+// points smooth the key distribution.
+const ringVnodes = 32
+
+// mix64 is splitmix64's finalizer: a cheap, seedless, stable hash for
+// ring points and client keys. Determinism matters more than quality
+// here, but this passes the usual avalanche tests anyway.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// hashName folds a backend name into a ring seed.
+func hashName(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// rebuildRing rematerializes the vnode ring from current pool
+// membership. Only structurally active backends get points: a draining
+// or retired backend sheds its arc to its ring neighbors, which is the
+// affinity-preserving behavior consistent hashing exists for.
+func (f *Fleet) rebuildRing() {
+	f.ring = f.ring[:0]
+	for _, b := range f.backends {
+		if !b.active() {
+			continue
+		}
+		seed := hashName(b.Name)
+		for v := 0; v < ringVnodes; v++ {
+			f.ring = append(f.ring, ringPoint{hash: mix64(seed + uint64(v)), b: b})
+		}
+	}
+	sort.Slice(f.ring, func(i, j int) bool {
+		if f.ring[i].hash != f.ring[j].hash {
+			return f.ring[i].hash < f.ring[j].hash
+		}
+		return f.ring[i].b.Name < f.ring[j].b.Name
+	})
+	f.ringDirty = false
+}
+
+// clientKey is the synthetic client identity used for affinity: with
+// HashClients configured, requests fold onto that many distinct clients
+// (think: source IPs behind the balancer); otherwise every request is
+// its own client.
+func (f *Fleet) clientKey(r *request) uint64 {
+	if f.cfg.HashClients > 0 {
+		return uint64(r.id % f.cfg.HashClients)
+	}
+	return uint64(r.id)
+}
+
+// pick routes one request to a backend per the configured policy, or nil
+// when no dispatchable backend has room.
+func (f *Fleet) pick(r *request, now simclock.Time) *Backend {
+	switch f.cfg.Policy {
+	case PolicyLeast:
+		return f.pickLeast(now)
+	case PolicyHash:
+		return f.pickHash(r, now)
+	default:
+		return f.pickRR(now)
+	}
+}
+
+// pickRR scans round-robin from the cursor.
+func (f *Fleet) pickRR(now simclock.Time) *Backend {
+	n := len(f.backends)
+	for i := 0; i < n; i++ {
+		b := f.backends[(f.rrNext+i)%n]
+		if b.dispatchable(now) && f.roomFor(b) {
+			f.rrNext = (f.rrNext + i + 1) % n
+			return b
+		}
+	}
+	return nil
+}
+
+// pickLeast takes the dispatchable backend with the fewest outstanding
+// connections; ties go to the lowest pool index so the choice is
+// deterministic.
+func (f *Fleet) pickLeast(now simclock.Time) *Backend {
+	var best *Backend
+	for _, b := range f.backends {
+		if !b.dispatchable(now) || !f.roomFor(b) {
+			continue
+		}
+		if best == nil || b.inflight < best.inflight {
+			best = b
+		}
+	}
+	return best
+}
+
+// pickHash walks the ring clockwise from the client's key and takes the
+// first dispatchable owner with room — affinity first, availability
+// when the preferred backend is out.
+func (f *Fleet) pickHash(r *request, now simclock.Time) *Backend {
+	if f.ringDirty {
+		f.rebuildRing()
+	}
+	n := len(f.ring)
+	if n == 0 {
+		return nil
+	}
+	key := mix64(f.clientKey(r) ^ 0x9E3779B97F4A7C15)
+	start := sort.Search(n, func(i int) bool { return f.ring[i].hash >= key }) % n
+	seen := make(map[*Backend]bool, 4)
+	for i := 0; i < n; i++ {
+		b := f.ring[(start+i)%n].b
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		if b.dispatchable(now) && f.roomFor(b) {
+			return b
+		}
+	}
+	return nil
+}

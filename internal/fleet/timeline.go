@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"lupine/internal/fabric"
 	"lupine/internal/simclock"
 	"lupine/internal/vmm"
 )
@@ -76,7 +77,13 @@ type Backend struct {
 	probeFails int
 	probeOKs   int
 
-	inflight int
+	// The backend's presence on the fabric: its NIC and the listener it
+	// serves on, both attached at admission.
+	node *fabric.Node
+	lst  *fabric.Listener
+
+	inflight int // balancer-side outstanding connections (queued + serving)
+	serving  int // server-side accepted connections in service
 	served   int
 	failed   int
 

@@ -1,0 +1,210 @@
+package guest
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Edge semantics of the loopback stream stack that internal/fabric's
+// connection model mirrors: partial sends against a nearly-full peer
+// buffer, Accept draining a backlog filled to exactly the listen(2)
+// cap, and half-close ordering (buffered bytes before EOF). These are
+// table-driven so the boundary cases sit next to each other.
+
+// connectedPair builds a loopback stream pair on port and returns
+// (clientFD, serverConnFD).
+func connectedPair(t *testing.T, p *Proc, port int) (int, int) {
+	t.Helper()
+	lfd, e := p.Socket(AFInet, SockStream)
+	if e != OK {
+		t.Fatalf("socket: %v", e)
+	}
+	if e := p.Bind(lfd, port, ""); e != OK {
+		t.Fatalf("bind: %v", e)
+	}
+	if e := p.Listen(lfd); e != OK {
+		t.Fatalf("listen: %v", e)
+	}
+	cfd, e := p.Socket(AFInet, SockStream)
+	if e != OK {
+		t.Fatalf("client socket: %v", e)
+	}
+	if e := p.Connect(cfd, port, ""); e != OK {
+		t.Fatalf("connect: %v", e)
+	}
+	conn, e := p.Accept(lfd)
+	if e != OK {
+		t.Fatalf("accept: %v", e)
+	}
+	return cfd, conn
+}
+
+// TestSendPartialIntoNearlyFullBuffer: a nonblocking send against a
+// peer buffer with limited space writes what fits and reports the
+// partial count; against a full buffer it fails with EAGAIN instead of
+// queueing.
+func TestSendPartialIntoNearlyFullBuffer(t *testing.T) {
+	cases := []struct {
+		name      string
+		fill      int // bytes pre-filled into the peer's inbound buffer
+		send      int // probe write size
+		wantN     int
+		wantErrno Errno
+	}{
+		{"fits-exactly", pipeCapacity - 300, 300, 300, OK},
+		{"partial", pipeCapacity - 100, 300, 100, OK},
+		{"one-byte-left", pipeCapacity - 1, 300, 1, OK},
+		{"full-eagain", pipeCapacity, 300, 0, EAGAIN},
+	}
+	for i, tc := range cases {
+		tc := tc
+		port := 9100 + i
+		t.Run(tc.name, func(t *testing.T) {
+			k := newTestKernel(t, "lupine-base")
+			k.Spawn("main", func(p *Proc) int {
+				cfd, _ := connectedPair(t, p, port)
+				if tc.fill > 0 {
+					if n, e := p.Write(cfd, make([]byte, tc.fill)); e != OK || n != tc.fill {
+						t.Fatalf("pre-fill: wrote %d, %v; want %d, OK", n, e, tc.fill)
+					}
+				}
+				p.fds.get(cfd).flags |= ONonblock
+				n, e := p.Write(cfd, make([]byte, tc.send))
+				if n != tc.wantN || e != tc.wantErrno {
+					t.Errorf("send into buffer at %d/%d = %d, %v; want %d, %v",
+						tc.fill, pipeCapacity, n, e, tc.wantN, tc.wantErrno)
+				}
+				return 0
+			})
+			if err := k.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAcceptDrainsBacklogFilledToCap: with the backlog filled to
+// exactly the listen(2) cap, the next connect is refused, Accept
+// returns exactly cap connections before blocking (EAGAIN when
+// nonblocking), and draining one slot re-admits one connect.
+func TestAcceptDrainsBacklogFilledToCap(t *testing.T) {
+	cases := []struct {
+		name string
+		cap  int
+	}{
+		{"cap-1", 1},
+		{"cap-3", 3},
+		{"cap-somaxconn", SOMAXCONN},
+	}
+	for i, tc := range cases {
+		tc := tc
+		port := 9200 + i
+		t.Run(tc.name, func(t *testing.T) {
+			k := newTestKernel(t, "lupine-base")
+			k.Spawn("main", func(p *Proc) int {
+				lfd, _ := p.Socket(AFInet, SockStream)
+				if e := p.Bind(lfd, port, ""); e != OK {
+					t.Fatalf("bind: %v", e)
+				}
+				if e := p.ListenBacklog(lfd, tc.cap); e != OK {
+					t.Fatalf("listen(%d): %v", tc.cap, e)
+				}
+				dial := func() Errno {
+					cfd, e := p.Socket(AFInet, SockStream)
+					if e != OK {
+						t.Fatalf("client socket: %v", e)
+					}
+					return p.Connect(cfd, port, "")
+				}
+				for j := 0; j < tc.cap; j++ {
+					if e := dial(); e != OK {
+						t.Fatalf("connect %d/%d: %v", j+1, tc.cap, e)
+					}
+				}
+				if e := dial(); e != ECONNREFUSED {
+					t.Errorf("connect past cap: %v, want ECONNREFUSED", e)
+				}
+				// Exactly cap pending connections come out of Accept.
+				for j := 0; j < tc.cap; j++ {
+					if _, e := p.Accept(lfd); e != OK {
+						t.Errorf("accept %d/%d: %v", j+1, tc.cap, e)
+					}
+				}
+				p.fds.get(lfd).flags |= ONonblock
+				if _, e := p.Accept(lfd); e != EAGAIN {
+					t.Errorf("accept on drained backlog: %v, want EAGAIN", e)
+				}
+				// The drained queue admits fresh connections again.
+				if e := dial(); e != OK {
+					t.Errorf("connect after drain: %v, want OK", e)
+				}
+				return 0
+			})
+			if err := k.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestShutdownThenPeerRecvBuffered: after the sender half-closes, the
+// peer still receives every buffered byte before seeing EOF, and the
+// reverse direction stays open.
+func TestShutdownThenPeerRecvBuffered(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload int // bytes written before Shutdown
+	}{
+		{"empty-then-eof", 0},
+		{"small", 5},
+		{"multi-read", 1000},
+	}
+	for i, tc := range cases {
+		tc := tc
+		port := 9300 + i
+		t.Run(tc.name, func(t *testing.T) {
+			k := newTestKernel(t, "lupine-base")
+			k.Spawn("main", func(p *Proc) int {
+				cfd, conn := connectedPair(t, p, port)
+				if tc.payload > 0 {
+					if n, e := p.Write(cfd, make([]byte, tc.payload)); e != OK || n != tc.payload {
+						t.Fatalf("write: %d, %v", n, e)
+					}
+				}
+				if e := p.Shutdown(cfd); e != OK {
+					t.Fatalf("shutdown: %v", e)
+				}
+				// Peer drains the buffered bytes, then reads EOF — in that
+				// order, no matter how many reads the payload takes.
+				buf := make([]byte, 256)
+				total := 0
+				for {
+					n, e := p.Read(conn, buf)
+					if e != OK {
+						t.Fatalf("peer read: %v", e)
+					}
+					if n == 0 {
+						break
+					}
+					total += n
+				}
+				if total != tc.payload {
+					t.Errorf("peer drained %d bytes before EOF, want %d", total, tc.payload)
+				}
+				// Half-close: the server-to-client direction still carries.
+				reply := fmt.Sprintf("got:%d", total)
+				if n, e := p.Write(conn, []byte(reply)); e != OK || n != len(reply) {
+					t.Errorf("peer write after half-close: %d, %v", n, e)
+				}
+				n, e := p.Read(cfd, buf)
+				if e != OK || string(buf[:n]) != reply {
+					t.Errorf("client read = %q, %v; want %q", buf[:n], e, reply)
+				}
+				return 0
+			})
+			if err := k.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

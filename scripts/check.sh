@@ -19,22 +19,23 @@ go vet ./...
 echo "== go test -race"
 go test -race ./...
 
-# The concurrency-sensitive planes (fleet event engine, supervisor,
-# snapshot store, memory accountant, guest balloon, telemetry plane) get
-# a second racing pass with fresh test binaries: -count=2 defeats result
-# caching and shakes out run-to-run nondeterminism the bit-for-bit
-# replay guarantees forbid.
-echo "== go test -race -count=2 (fleet, vmm, snapshot, hostmem, guest, telemetry)"
-go test -race -count=2 ./internal/fleet/... ./internal/vmm/... ./internal/snapshot/... \
-    ./internal/hostmem/... ./internal/guest/... ./internal/telemetry/...
+# The concurrency-sensitive planes (fleet event engine, network fabric,
+# supervisor, snapshot store, memory accountant, guest balloon,
+# telemetry plane) get a second racing pass with fresh test binaries:
+# -count=2 defeats result caching and shakes out run-to-run
+# nondeterminism the bit-for-bit replay guarantees forbid.
+echo "== go test -race -count=2 (fleet, fabric, vmm, snapshot, hostmem, guest, telemetry)"
+go test -race -count=2 ./internal/fleet/... ./internal/fabric/... ./internal/vmm/... \
+    ./internal/snapshot/... ./internal/hostmem/... ./internal/guest/... ./internal/telemetry/...
 
 # Every registered fault site must surface in the operator-facing
 # catalog: the count of RegisterSite calls in non-test source must match
-# what lupine-bench -list-faults prints, or a new site shipped without
-# being discoverable.
+# what lupine-bench -list-faults prints (sites are the indented lines
+# under each subsystem heading), or a new site shipped without being
+# discoverable.
 echo "== fault-site catalog"
 registered=$(grep -rh --include='*.go' --exclude='*_test.go' 'faults\.RegisterSite(' internal/ | wc -l)
-listed=$(go run ./cmd/lupine-bench -list-faults | wc -l)
+listed=$(go run ./cmd/lupine-bench -list-faults | grep -c '^  ')
 if [ "$registered" -ne "$listed" ]; then
     echo "fault-site catalog mismatch: $registered RegisterSite calls in internal/, $listed listed by -list-faults" >&2
     exit 1
@@ -52,5 +53,23 @@ go run ./cmd/lupine-bench -run memstorm -trace-out="$tracedir/b.json" >/dev/null
 cmp "$tracedir/a.json" "$tracedir/b.json"
 go run ./scripts/jsoncheck.go "$tracedir/a.json"
 echo "   byte-identical and valid JSON"
+
+# The same gate for the fabric plane: two same-seed netsplit storms —
+# every partition, flap, loss, retransmission and breaker verdict on the
+# virtual wire — must export byte-identical traces.
+echo "== trace determinism (netsplit, two same-seed runs)"
+go run ./cmd/lupine-bench -run netsplit -trace-out="$tracedir/na.json" >/dev/null
+go run ./cmd/lupine-bench -run netsplit -trace-out="$tracedir/nb.json" >/dev/null
+cmp "$tracedir/na.json" "$tracedir/nb.json"
+go run ./scripts/jsoncheck.go "$tracedir/na.json"
+echo "   byte-identical and valid JSON"
+
+# Wall-clock trajectory sample: how fast this machine's event engine
+# chews through the netsplit storm, with the headline availability/p99
+# alongside so a perf fix that changes behavior shows in the same file.
+echo "== bench record (BENCH_netsplit.json)"
+go run ./cmd/lupine-bench -bench-out=BENCH_netsplit.json
+go run ./scripts/jsoncheck.go BENCH_netsplit.json
+echo "   wrote BENCH_netsplit.json"
 
 echo "== ok"
