@@ -36,7 +36,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the runs (load in Perfetto or chrome://tracing)")
 	metricsOut := flag.String("metrics-out", "", "write the telemetry metrics registry as JSON")
 	flight := flag.Bool("flight", false, "print flight-recorder crash dumps after the runs")
-	benchOut := flag.String("bench-out", "", "run the netsplit storm and write a wall-clock bench record (JSON) to this path")
+	benchOut := flag.String("bench-out", "", "run the -bench storm and append a wall-clock bench record to this JSON file")
+	bench := flag.String("bench", "netsplit", "which storm -bench-out samples: netsplit or regionfail")
 	flag.Parse()
 
 	experiments.SetChaosSeed(*seed)
@@ -81,7 +82,7 @@ func main() {
 	}
 
 	if *benchOut != "" {
-		if err := writeBenchRecord(*benchOut, *seed); err != nil {
+		if err := writeBenchRecord(*benchOut, *bench, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -161,37 +162,71 @@ func main() {
 	}
 }
 
-// benchRecord is the wall-clock trajectory sample scripts/check.sh
-// lands as BENCH_netsplit.json: how fast the event engine chews through
-// the netsplit storm on this machine, plus the headline results so a
-// perf regression that changes behavior is visible in the same file.
+// benchRecord is one wall-clock trajectory sample scripts/check.sh
+// lands in BENCH_<storm>.json: how fast the event engine chews through
+// the storm on this machine, plus the headline results so a perf
+// regression that changes behavior is visible in the same file. The
+// file holds a JSON array and every run appends, so the trajectory
+// accumulates instead of each run clobbering the last.
 type benchRecord struct {
-	Experiment   string  `json:"experiment"`
-	Seed         uint64  `json:"seed"`
-	Events       int     `json:"events"`
-	WallSeconds  float64 `json:"wall_seconds"`
-	EventsPerSec float64 `json:"events_per_sec"`
-	Availability float64 `json:"availability"` // lupine+mp round-robin row
-	P99Micros    float64 `json:"p99_us"`       // same row's p99 virtual latency
+	Experiment      string  `json:"experiment"`
+	When            string  `json:"when"`
+	Seed            uint64  `json:"seed"`
+	Events          int     `json:"events"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	Availability    float64 `json:"availability"`            // headline lupine+mp row
+	P99Micros       float64 `json:"p99_us,omitempty"`        // netsplit: served p99 virtual latency
+	DetectP99Micros float64 `json:"detect_p99_us,omitempty"` // regionfail: failover detection p99
 }
 
-func writeBenchRecord(path string, seed uint64) error {
+// readBenchRecords loads the existing trajectory. A missing file is an
+// empty trajectory; a legacy single-object file becomes its first entry.
+func readBenchRecords(path string) ([]benchRecord, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var recs []benchRecord
+	if err := json.Unmarshal(b, &recs); err == nil {
+		return recs, nil
+	}
+	var one benchRecord
+	if err := json.Unmarshal(b, &one); err != nil {
+		return nil, fmt.Errorf("bench-out: %s holds neither a record array nor a legacy record: %w", path, err)
+	}
+	return []benchRecord{one}, nil
+}
+
+func writeBenchRecord(path, bench string, seed uint64) error {
+	recs, err := readBenchRecords(path)
+	if err != nil {
+		return err
+	}
+	rec := benchRecord{
+		Experiment: bench,
+		When:       time.Now().UTC().Format(time.RFC3339),
+		Seed:       seed,
+	}
 	start := time.Now()
-	events, avail, p99, err := experiments.NetSplitBench()
+	switch bench {
+	case "netsplit":
+		rec.Events, rec.Availability, rec.P99Micros, err = experiments.NetSplitBench()
+	case "regionfail":
+		rec.Events, rec.Availability, rec.DetectP99Micros, err = experiments.RegionFailBench()
+	default:
+		return fmt.Errorf("bench-out: unknown storm %q (netsplit or regionfail)", bench)
+	}
 	if err != nil {
 		return fmt.Errorf("bench-out: %w", err)
 	}
-	wall := time.Since(start).Seconds()
-	rec := benchRecord{
-		Experiment:   "netsplit",
-		Seed:         seed,
-		Events:       events,
-		WallSeconds:  wall,
-		EventsPerSec: float64(events) / wall,
-		Availability: avail,
-		P99Micros:    p99,
-	}
-	b, err := json.MarshalIndent(rec, "", "  ")
+	rec.WallSeconds = time.Since(start).Seconds()
+	rec.EventsPerSec = float64(rec.Events) / rec.WallSeconds
+	recs = append(recs, rec)
+	b, err := json.MarshalIndent(recs, "", "  ")
 	if err != nil {
 		return err
 	}

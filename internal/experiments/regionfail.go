@@ -1,0 +1,242 @@
+package experiments
+
+// The regionfail experiment: the multi-region control plane under a
+// regional storm. Everything the repo has built — specialized kernels,
+// snapshot warm pools, fleet cells with breakers and admission shed,
+// the virtual fabric — composes one level up into three regions behind
+// a global router, and then a region dies. The storm is a host crash in
+// the home region, a full blackout of a second region, and a transient
+// inter-region partition against the third; the router has to detect
+// the blackout through unanswered probes, surge-route the dead region's
+// share to the survivors, and evacuate its backends there from the
+// replicated snapshots. The comparison is the paper's at a new scale:
+// lupine+mp with a warm replicated pool evacuates in restore time and
+// holds availability; the same plane without snapshots pays cold boots
+// for every replacement; the unikernel comparators die of the
+// workload's first fork wherever the control plane restores them.
+
+import (
+	"fmt"
+
+	"lupine/internal/core"
+	"lupine/internal/fabric"
+	"lupine/internal/faults"
+	"lupine/internal/fleet"
+	"lupine/internal/libos"
+	"lupine/internal/metrics"
+	"lupine/internal/region"
+	"lupine/internal/simclock"
+	"lupine/internal/snapshot"
+	"lupine/internal/vmm"
+)
+
+func init() {
+	register("regionfail", "Multi-region failover: blackout + partition storm, evacuation restore vs cold (robustness)", runRegionFail)
+}
+
+// The storm's cast, by 0-based region index: r0 takes a host crash, r1
+// blacks out for good, r2 suffers a transient asymmetric partition.
+const (
+	regionFailCrashed     = 0
+	regionFailBlackedOut  = 1
+	regionFailPartitioned = 2
+)
+
+// regionFailPlan is the regional storm, identical for every row. Times
+// are absolute virtual time; traffic runs 2–102 ms.
+func regionFailPlan() faults.Plan {
+	const ms = simclock.Time(simclock.Millisecond)
+	return faults.Plan{
+		Seed: chaosSeed ^ 0x4E610,
+		Rules: []faults.Rule{
+			// One host in the home region dies early: its VMs are replaced
+			// in-region from the local warm pool (restore hit #1).
+			{Site: region.SiteHostCrash, From: 6 * ms, To: 7 * ms, Prob: 1,
+				Param: int64(regionFailCrashed+1)*1000 + 1},
+			// The blackout: r1 goes dark mid-traffic. Terminal — the only
+			// exit is evacuation into the survivors.
+			{Site: region.SiteBlackout, From: 10 * ms, To: 11 * ms, Prob: 1,
+				Param: int64(regionFailBlackedOut + 1)},
+			// A 6 ms asymmetric partition INTO r2: its probes and ingress
+			// vanish while its egress still flows. Shorter than the
+			// evacuation dwell, so the router's false trip must heal into
+			// a rejoin, not a second mass migration.
+			{Site: fabric.SiteTrunkCut, From: 30 * ms, To: 36 * ms, Prob: 1,
+				Param: region.CutInto(regionFailPartitioned)},
+			// One evacuation restore dies mid-flight and falls back to a
+			// cold boot — the accounted fallback path. The crashed host
+			// carries two VMs, so their replacements consume restore hits
+			// 1–2 and the evacuation wave draws hits 3–5.
+			{Site: snapshot.SiteRestoreFail, NthHit: 4},
+		},
+	}
+}
+
+// regionFailConfig is the shared plane shape; warm-pool fields are the
+// per-variant part.
+func regionFailConfig() region.Config {
+	cfg := region.DefaultConfig()
+	cfg.Seed = chaosSeed ^ 0x4E610F
+	return cfg
+}
+
+// regionFailResult is one table row plus what the tests assert on.
+type regionFailResult struct {
+	System string
+	Warm   bool // replicated snapshot warm pool available
+	Res    region.Result
+}
+
+// runRegionFailRow drives one configured plane through the storm.
+func runRegionFailRow(name string, warm bool, cfg region.Config) (regionFailResult, error) {
+	inj, err := faults.New(regionFailPlan())
+	if err != nil {
+		return regionFailResult{}, err
+	}
+	track := "regionfail/" + name
+	inj.Observe(activeTrace, track)
+	p := region.New(cfg, inj)
+	p.Observe(activeTrace, activeMetrics, track)
+	return regionFailResult{System: name, Warm: warm, Res: p.Run()}, nil
+}
+
+// runRegionFailStorm executes the full comparison and returns the raw
+// results (the test entry point; runRegionFail renders them).
+func runRegionFailStorm() ([]regionFailResult, error) {
+	spec, _, err := appSpec("redis")
+	if err != nil {
+		return nil, err
+	}
+	u, err := core.Build(db(), spec, core.BuildOpts{ExtraOptions: []string{"MULTIPROCESS"}})
+	if err != nil {
+		return nil, fmt.Errorf("regionfail: building lupine+mp: %w", err)
+	}
+	snap, coldBoot, _, err := surgeCapture(u)
+	if err != nil {
+		return nil, fmt.Errorf("regionfail: capturing snapshot: %w", err)
+	}
+
+	var out []regionFailResult
+
+	// Row 1: the full story — warm pool captured once, replicated to
+	// every region ahead of need, evacuation restores from the replicas.
+	cfg := regionFailConfig()
+	cfg.Snapshot = snap
+	cfg.Monitor = vmm.Firecracker()
+	cfg.Replicate = true
+	cfg.ColdBoot = coldBoot
+	r, err := runRegionFailRow("lupine+mp", true, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r)
+
+	// Row 2: the same kernel and plane with no snapshot story — every
+	// replacement and every evacuee pays the full measured boot.
+	cfg = regionFailConfig()
+	cfg.ColdBoot = coldBoot
+	r, err = runRegionFailRow("lupine+mp-cold", false, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r)
+
+	// The unikernel comparators: their pools boot, then die of the
+	// workload's first fork (§6.2) — and keep dying wherever the control
+	// plane restores them, because the kernel, not the region, is what
+	// cannot run the workload.
+	for _, s := range libos.All() {
+		boot := 10 * simclock.Millisecond
+		if bt, err := s.BootTime("redis"); err == nil {
+			boot = bt
+		}
+		crash := vmm.Attempt{
+			Outcome:    vmm.OutcomePanic,
+			Ready:      true,
+			ReadyAfter: boot,
+			Ran:        boot + simclock.Millisecond,
+			Detail:     s.Fork().Error(),
+		}
+		cfg = regionFailConfig()
+		cfg.ColdBoot = boot
+		track := "regionfail/" + s.Name
+		cfg.Timeline = func(ri, vi int) fleet.Timeline {
+			sup := vmm.NewSupervisor(vmm.RestartPolicy{})
+			sup.Observe(activeTrace, fmt.Sprintf("%s/r%d/vm%d", track, ri, vi))
+			return fleet.FromReport(sup.Run(func(int) vmm.Attempt { return crash }))
+		}
+		r, err = runRegionFailRow(s.Name, false, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func runRegionFail() (fmt.Stringer, error) {
+	results, err := runRegionFailStorm()
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title: fmt.Sprintf("multi-region availability through a host crash, a full-region blackout and an inter-region partition (seed %d, 3 regions)",
+			chaosSeed),
+		Columns: []string{"system", "warm pool", "availability", "p99 (µs)", "failovers",
+			"detect p99 (µs)", "evac (rst/fb/cold)", "evac p50 (µs)", "evac wall (µs)", "shed r0/r1/r2", "unrecovered"},
+	}
+	for _, r := range results {
+		warm := "no"
+		if r.Warm {
+			warm = "yes"
+		}
+		shed := ""
+		for i, rs := range r.Res.PerRegion {
+			if i > 0 {
+				shed += "/"
+			}
+			shed += fmt.Sprintf("%d", rs.Shed)
+		}
+		t.AddRow(
+			r.System,
+			warm,
+			metrics.Percent(r.Res.Availability()),
+			r.Res.Percentile(99).Microseconds(),
+			r.Res.Failovers,
+			r.Res.DetectPercentile(99).Microseconds(),
+			fmt.Sprintf("%d/%d/%d", r.Res.EvacRestores, r.Res.EvacFallbacks, r.Res.EvacCold),
+			r.Res.EvacReadyPercentile(50).Microseconds(),
+			r.Res.EvacDuration().Microseconds(),
+			shed,
+			r.Res.Unrecovered,
+		)
+	}
+	t.Notes = append(t.Notes,
+		"identical storm per row: a host crash in r0 at 6 ms, a terminal blackout of r1 at 10 ms, and a 6 ms asymmetric partition INTO r2 at 30 ms (its egress still flows)",
+		"the router learns of the blackout only through unanswered gateway probes crossing the inter-region trunks; detect p99 is dark-instant to dead-declaration",
+		"the partition is shorter than the evacuation dwell: the false trip must heal into a rejoin — evacuations here all come from the real blackout",
+		"evac (rst/fb/cold): restores from the region-local snapshot replica / restore-fault fallbacks to cold boot / cold boots because no replica exists; evac p50 is the median per-evacuee provisioning cost, evac wall the whole wave (fallback-bound on the warm row)",
+		"warm rows replicate the home region's capture to every peer store ahead of need, priced at the inter-region bandwidth; cold rows pay the measured boot per evacuee",
+		"unikernel comparator pools die of the workload's first fork and keep dying wherever the plane restores them — the kernel, not the region, is what cannot serve",
+	)
+	return t, nil
+}
+
+// RegionFailBench summarizes one storm for the wall-clock trajectory
+// (scripts emit it as BENCH_regionfail.json): total virtual events
+// across all rows plus the warm lupine+mp row's availability and
+// failover-detection p99.
+func RegionFailBench() (events int, availability float64, detectP99us float64, err error) {
+	results, err := runRegionFailStorm()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for _, r := range results {
+		events += r.Res.Events
+		if r.System == "lupine+mp" {
+			availability = r.Res.Availability()
+			detectP99us = r.Res.DetectPercentile(99).Microseconds()
+		}
+	}
+	return events, availability, detectP99us, nil
+}

@@ -43,6 +43,13 @@ const (
 	// for Param microseconds (default 500), both directions, dropping the
 	// triggering segment too — a flapping cable mid-connection.
 	SiteFlap = "fabric/flap"
+	// SiteTrunkCut blackholes inter-zone segments on the trunk between
+	// two switches. Param selects the directed cut over 1-based zone ids:
+	// 0 cuts ALL inter-zone traffic, f*1000+t cuts zone f -> zone t, with
+	// f or t == 0 as a wildcard (Param 3 cuts everything INTO zone 3,
+	// Param 3000 cuts everything OUT OF zone 3). Same-zone segments never
+	// consult this site.
+	SiteTrunkCut = "fabric/trunk-cut"
 )
 
 func init() {
@@ -54,6 +61,8 @@ func init() {
 		"segment delayed by Param microseconds of extra propagation latency")
 	faults.RegisterSite(SiteFlap, "fabric",
 		"the segment's link flaps down for Param microseconds, dropping traffic in both directions")
+	faults.RegisterSite(SiteTrunkCut, "fabric",
+		"inter-zone segment blackholed on the trunk; Param 0=all, f*1000+t cuts zone f->t (0 wildcards either side)")
 }
 
 // SOMAXCONN mirrors internal/guest.SOMAXCONN: the fabric's listener
@@ -136,6 +145,11 @@ type Stats struct {
 	Timeouts    int // connections failed by retransmit exhaustion or response timeout
 	ProbesSent  int
 	ProbesOK    int
+
+	// Multi-switch accounting: segments that crossed an inter-zone trunk,
+	// and the subset the trunk-cut site blackholed.
+	TrunkSegments int
+	TrunkCuts     int
 }
 
 // Network is one virtual switch plus every NIC attached to it.
@@ -149,6 +163,15 @@ type Network struct {
 
 	busyUntil     map[int]simclock.Time    // per-node egress serialization
 	linkDownUntil map[[2]int]simclock.Time // flapped links, keyed by sorted id pair
+
+	// Multi-switch topology: every node lives in a zone (one virtual
+	// switch per zone; zone "" is the default single-switch world), and
+	// inter-zone traffic crosses a trunk link with its own latency,
+	// bandwidth serialization, and the trunk-cut fault site.
+	zoneIDs   map[string]int           // 1-based ids in registration order
+	zoneNames []string                 // id-1 -> name
+	trunks    map[[2]int]LinkSpec      // per sorted zone-id pair; absent = zero-cost trunk
+	trunkBusy map[[2]int]simclock.Time // trunk egress serialization, directed pair
 
 	connSeq    int
 	probeSeq   int
@@ -188,7 +211,47 @@ func New(params Params, sched Scheduler, inj *faults.Injector) (*Network, error)
 		subnet:        subnet,
 		busyUntil:     make(map[int]simclock.Time),
 		linkDownUntil: make(map[[2]int]simclock.Time),
+		zoneIDs:       make(map[string]int),
+		trunks:        make(map[[2]int]LinkSpec),
+		trunkBusy:     make(map[[2]int]simclock.Time),
 	}, nil
+}
+
+// zoneID interns a zone name, assigning 1-based ids in registration
+// order — the id space SiteTrunkCut params address. Zone "" (the default
+// single-switch world) is id 0 and never crosses a trunk.
+func (n *Network) zoneID(zone string) int {
+	if zone == "" {
+		return 0
+	}
+	if id, ok := n.zoneIDs[zone]; ok {
+		return id
+	}
+	id := len(n.zoneNames) + 1
+	n.zoneIDs[zone] = id
+	n.zoneNames = append(n.zoneNames, zone)
+	return id
+}
+
+// ZoneID reports the 1-based id of a registered zone (0 if unknown or
+// the default zone) — the address space trunk-cut plans are written in.
+func (n *Network) ZoneID(zone string) int {
+	if zone == "" {
+		return 0
+	}
+	return n.zoneIDs[zone]
+}
+
+// SetTrunk installs the trunk link crossed by segments between zones a
+// and b (symmetric spec; egress serialization is per direction). Zones
+// are registered on first use, so SetTrunk can run before any AddNodeZone
+// and still pin the zone-id order.
+func (n *Network) SetTrunk(a, b string, spec LinkSpec) {
+	ai, bi := n.zoneID(a), n.zoneID(b)
+	if ai == 0 || bi == 0 || ai == bi {
+		panic(fmt.Sprintf("fabric: bad trunk %q<->%q", a, b))
+	}
+	n.trunks[pairKey(ai, bi)] = spec
 }
 
 // Observe attaches the telemetry plane: a span per connection, instant
@@ -210,6 +273,7 @@ type Node struct {
 	name string
 	ip   IP
 	link LinkSpec
+	zone int // zone id; 0 = the default zone (no trunks crossed)
 
 	// alive is the ground-truth liveness gate: a dead VM neither answers
 	// SYNs nor ACKs data. Nil means always up.
@@ -222,6 +286,13 @@ type Node struct {
 // A zero link spec inherits the network default. Node ids count from 1
 // in attachment order — the id space SitePartition params address.
 func (n *Network) AddNode(name string, link LinkSpec) (*Node, error) {
+	return n.AddNodeZone(name, "", link)
+}
+
+// AddNodeZone is AddNode onto a named zone's switch: traffic between
+// nodes of different zones crosses the inter-zone trunk (SetTrunk) and
+// the trunk-cut fault site. Zone "" is the default switch.
+func (n *Network) AddNodeZone(name, zone string, link LinkSpec) (*Node, error) {
 	ip, err := n.subnet.Alloc()
 	if err != nil {
 		return nil, err
@@ -235,6 +306,7 @@ func (n *Network) AddNode(name string, link LinkSpec) (*Node, error) {
 		name:      name,
 		ip:        ip,
 		link:      link,
+		zone:      n.zoneID(zone),
 		listeners: make(map[int]*Listener),
 	}
 	n.nodes = append(n.nodes, nd)
@@ -249,6 +321,15 @@ func (nd *Node) IP() IP { return nd.ip }
 
 // Name reports the node's display name.
 func (nd *Node) Name() string { return nd.name }
+
+// Zone reports the name of the zone this node's NIC is switched into;
+// "" is the default zone.
+func (nd *Node) Zone() string {
+	if nd.zone == 0 {
+		return ""
+	}
+	return nd.net.zoneNames[nd.zone-1]
+}
 
 // SetAlive installs the ground-truth liveness gate.
 func (nd *Node) SetAlive(fn func(now simclock.Time) bool) { nd.alive = fn }
@@ -384,6 +465,17 @@ func (n *Network) transmit(s *segment, now simclock.Time) {
 		n.drop(s, "link-down", now)
 		return
 	}
+	if s.from.zone != s.to.zone {
+		// Inter-zone traffic crosses the trunk and its fault site.
+		// Same-zone segments never reach this branch, so single-zone
+		// topologies draw exactly the injector stream they always did.
+		n.stats.TrunkSegments++
+		if d := n.inj.Hit(SiteTrunkCut, now); d.Fire && trunkCuts(d.Param, s) {
+			n.stats.TrunkCuts++
+			n.drop(s, "trunk-cut", now)
+			return
+		}
+	}
 	if d := n.inj.Hit(SitePartition, now); d.Fire && partitionCuts(d.Param, s) {
 		n.drop(s, "partition", now)
 		return
@@ -425,8 +517,41 @@ func (n *Network) transmit(s *segment, now simclock.Time) {
 		depart = depart.Add(simclock.Duration(int64(s.size) * int64(simclock.Second) / bw))
 	}
 	n.busyUntil[s.from.id] = depart
-	arrive := depart.Add(s.from.link.Latency + s.to.link.Latency + extra)
+	hop := s.from.link.Latency + s.to.link.Latency + extra
+	if s.from.zone != s.to.zone {
+		// Second serialization stage on the inter-zone trunk, directed
+		// per zone pair, then the trunk's own propagation delay. An
+		// unconfigured trunk is a zero-cost patch cable.
+		spec := n.trunks[pairKey(s.from.zone, s.to.zone)]
+		dir := [2]int{s.from.zone, s.to.zone}
+		if busy := n.trunkBusy[dir]; busy > depart {
+			depart = busy
+		}
+		if bw := spec.Bandwidth; bw > 0 {
+			depart = depart.Add(simclock.Duration(int64(s.size) * int64(simclock.Second) / bw))
+		}
+		n.trunkBusy[dir] = depart
+		hop += spec.Latency
+	}
+	arrive := depart.Add(hop)
 	n.sched.Schedule(arrive, func(at simclock.Time) { n.deliver(s, at) })
+}
+
+// trunkCuts decides whether a trunk-cut payload blackholes this
+// inter-zone segment: 0 cuts all trunks; f*1000+t cuts the directed
+// zone pair f->t, with 0 on either side acting as a wildcard.
+func trunkCuts(param int64, s *segment) bool {
+	if param == 0 {
+		return true
+	}
+	f, t := int(param/1000), int(param%1000)
+	if f != 0 && f != s.from.zone {
+		return false
+	}
+	if t != 0 && t != s.to.zone {
+		return false
+	}
+	return true
 }
 
 // partitionCuts decides whether a partition payload cuts this segment:

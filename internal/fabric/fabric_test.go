@@ -350,6 +350,96 @@ func TestFlapDropsThenHeals(t *testing.T) {
 	}
 }
 
+// TestFlapHealMidRexmitResumesLadder is the mid-retransmission healing
+// contract: the link flaps down AFTER the request is in flight, the
+// ladder's early rungs die into the downed link, and when the flap heals
+// the NEXT rung — not a fresh connection — completes the request. The
+// attempt counter must climb monotonically through the outage (resume,
+// not restart) and no RST may appear: a flap is a wire fault, not a
+// server verdict.
+func TestFlapHealMidRexmitResumesLadder(t *testing.T) {
+	params := DefaultParams()
+	params.RTOJitter = 0 // exact rung times: checks at +200, +400, +800 µs
+	// The request data departs at ~20µs (two 10µs handshake hops); the
+	// window catches exactly that segment and takes the link down for
+	// 900µs — long enough to eat rungs 1 and 2, healed before rung 3.
+	inj := faults.MustNew(faults.Plan{Seed: 11, Rules: []faults.Rule{
+		{Site: SiteFlap, From: simclock.Time(15 * simclock.Microsecond), To: simclock.Time(25 * simclock.Microsecond), Prob: 1, Param: 900},
+	}})
+	sched, net, client, server, lst := newTestNet(t, inj, params)
+	lst.OnPending = func(now simclock.Time) {
+		for {
+			c := lst.Accept(now)
+			if c == nil {
+				return
+			}
+			cc := c
+			c.WhenRequest(now, func(at simclock.Time) { cc.Respond(4096, at) })
+		}
+	}
+	res := &connResult{}
+	conn := client.Dial(server, 80, ConnCallbacks{
+		Established: func(c *Conn, now simclock.Time) {
+			res.established = true
+			c.SendRequest(1024, 50*ms, now)
+		},
+		Failed:   func(c *Conn, err error, now simclock.Time) { res.err = err },
+		Response: func(c *Conn, now simclock.Time) { res.served = true },
+	})
+	sched.Run(simclock.Time(100 * ms))
+	if !res.established || !res.served || res.err != nil {
+		t.Fatalf("mid-rexmit heal: established=%v served=%v err=%v", res.established, res.served, res.err)
+	}
+	// Exactly three rungs spent: the flap ate the original send, rungs 1
+	// and 2 died into the downed link, rung 3 landed after the heal. A
+	// restarted ladder (or a redial) could not produce this count on this
+	// connection.
+	if conn.Retransmits() != 3 {
+		t.Fatalf("rexmit ladder spent %d rungs, want 3 (resume through the outage)", conn.Retransmits())
+	}
+	st := net.Stats()
+	if st.Dropped != 3 { // 1 flap + 2 link-down
+		t.Fatalf("dropped %d segments, want 3 (flap + two link-down rungs): %+v", st.Dropped, st)
+	}
+	if st.Refused != 0 || st.Overflows != 0 || st.Timeouts != 0 {
+		t.Fatalf("flap heal must not RST or time out the connection: %+v", st)
+	}
+	if st.Established != 1 {
+		t.Fatalf("established %d connections, want 1 — the ladder must resume, not redial: %+v", st.Established, st)
+	}
+}
+
+// TestFlapOutlastsRexmitLadder is the contrast case: the outage outlives
+// the whole retransmission budget, so the connection fails with
+// ErrTimeout — retransmit exhaustion, the partition signature — and
+// still never an RST.
+func TestFlapOutlastsRexmitLadder(t *testing.T) {
+	params := DefaultParams()
+	params.RTOJitter = 0
+	inj := faults.MustNew(faults.Plan{Seed: 11, Rules: []faults.Rule{
+		{Site: SiteFlap, From: simclock.Time(15 * simclock.Microsecond), To: simclock.Time(25 * simclock.Microsecond), Prob: 1, Param: 7000},
+	}})
+	sched, net, client, server, lst := newTestNet(t, inj, params)
+	res := dialAndSend(sched, client, server, 1024, 4096, 50*ms, true, lst)
+	sched.Run(simclock.Time(100 * ms))
+	if res.served {
+		t.Fatal("request served through a flap that outlasts the whole ladder")
+	}
+	if !errors.Is(res.err, ErrTimeout) {
+		t.Fatalf("exhausted ladder: err=%v, want ErrTimeout", res.err)
+	}
+	st := net.Stats()
+	if st.Retransmits != DefaultParams().MaxRetransmits {
+		t.Fatalf("spent %d retransmits, want the full budget of %d", st.Retransmits, DefaultParams().MaxRetransmits)
+	}
+	if st.Refused != 0 {
+		t.Fatalf("a flap is a wire fault, not a server RST: %+v", st)
+	}
+	if st.Timeouts != 1 {
+		t.Fatalf("timeouts = %d, want 1: %+v", st.Timeouts, st)
+	}
+}
+
 // TestAcceptSkipsDeadEntries fills a backlog, times the clients out, and
 // checks Accept discards the corpses.
 func TestAcceptSkipsDeadEntries(t *testing.T) {

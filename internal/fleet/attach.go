@@ -1,0 +1,123 @@
+package fleet
+
+import (
+	"fmt"
+
+	"lupine/internal/fabric"
+	"lupine/internal/faults"
+	"lupine/internal/simclock"
+)
+
+// Attached mode: a fleet that is one cell of a larger control plane
+// rather than a self-contained experiment. An attached fleet runs on an
+// external event engine and a shared fabric (its balancer and backend
+// NICs switched into one zone), and serves traffic the owner Injects —
+// each request resolving through a callback — instead of generating its
+// own arrival process. The dispatch machinery is unchanged: breakers,
+// heartbeat probes, retry budget and policy routing all behave exactly
+// as in a standalone fleet, which is the point — the region plane
+// composes proven cells instead of reimplementing them.
+
+// Outcome classifies how an injected request resolved.
+type Outcome int
+
+const (
+	OutcomeOK     Outcome = iota // served within deadline
+	OutcomeShed                  // refused at admission or by backlog overflow
+	OutcomeFailed                // dispatched but never served
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeShed:
+		return "shed"
+	case OutcomeFailed:
+		return "failed"
+	}
+	return "?"
+}
+
+// NewAttached assembles a fleet cell on an external engine and a shared
+// fabric. Its balancer node and every backend NIC are switched into
+// zone (so intra-cell traffic never crosses a trunk), and traffic
+// arrives only via Inject. Start begins the heartbeat loop; Stop halts
+// it so the owner's heap can drain.
+func NewAttached(cfg Config, sched fabric.Scheduler, net *fabric.Network, zone string, inj *faults.Injector) *Fleet {
+	f := &Fleet{
+		cfg:         cfg,
+		ext:         sched,
+		zone:        zone,
+		inj:         inj,
+		arrivalRng:  faults.NewStream(cfg.Seed),
+		serviceRng:  faults.NewStream(cfg.Seed ^ 0xA5A5A5A5A5A5A5A5),
+		retryTokens: cfg.RetryBurst,
+		upgraded:    true,
+	}
+	f.res.FullAt = -1
+	f.net = net
+	lbName := "lb"
+	if zone != "" {
+		lbName = zone + "/lb"
+	}
+	lb, err := net.AddNodeZone(lbName, zone, fabric.LinkSpec{})
+	if err != nil {
+		panic(fmt.Sprintf("fleet: %v", err))
+	}
+	f.lbNode = lb
+	f.res.MinActive = 0
+	return f
+}
+
+// Attached reports whether this fleet is an attached-mode cell.
+func (f *Fleet) Attached() bool { return f.ext != nil }
+
+// Start begins an attached fleet's heartbeat loop.
+func (f *Fleet) Start(now simclock.Time) {
+	f.schedule(now.Add(f.cfg.ProbeInterval), f.probeTick)
+}
+
+// Stop halts the heartbeat loop at its next tick, letting the owning
+// engine's heap drain once in-flight work resolves.
+func (f *Fleet) Stop() { f.stopped = true }
+
+// Inject offers one request to an attached fleet at now. done (may be
+// nil) fires exactly once when the request resolves — served, shed, or
+// failed — at the resolving instant.
+func (f *Fleet) Inject(id int, now simclock.Time, done func(o Outcome, at simclock.Time)) {
+	f.res.Total++
+	r := &request{id: id, arrival: now, done: done}
+	f.admitRequest(r, now)
+}
+
+// Admit places b in rotation at now. Attached-mode owners grow the pool
+// directly — evacuation restores and host-crash replacements land here.
+func (f *Fleet) Admit(b *Backend, now simclock.Time) {
+	f.admit(b, now)
+	// Pre-traffic admissions establish the availability floor; admissions
+	// after traffic starts (evacuation landings) never raise a historical
+	// minimum back up.
+	if f.res.Total == 0 && f.activeCount() > f.res.MinActive {
+		f.res.MinActive = f.activeCount()
+	}
+	f.notePool(now)
+}
+
+// Retire removes b from the pool immediately, firing its release hooks.
+// Attached-mode owners retire crashed hosts' backends before restoring
+// replacements; in-flight requests resolve through their own timeouts.
+func (f *Fleet) Retire(b *Backend, now simclock.Time) { f.retire(b, now) }
+
+// Finish closes out an attached fleet's accounting. Wire counters stay
+// with the shared fabric's Stats — they are not per-cell.
+func (f *Fleet) Finish(now simclock.Time) Result {
+	f.res.End = now
+	return f.res
+}
+
+// ActiveCount reports structurally active pool members.
+func (f *Fleet) ActiveCount() int { return f.activeCount() }
+
+// Resolved reports how many injected requests have resolved.
+func (f *Fleet) Resolved() int { return f.resolved }

@@ -250,6 +250,9 @@ type request struct {
 	id       int
 	arrival  simclock.Time
 	attempts int // dispatches so far
+
+	// done, set by Inject in attached mode, fires once at resolution.
+	done func(o Outcome, at simclock.Time)
 }
 
 // event is one scheduled state change; seq breaks time ties in schedule
@@ -287,6 +290,13 @@ type Fleet struct {
 	backends []*Backend
 	inj      *faults.Injector // injected faults, fleet and fabric planes; nil = clean wire
 
+	// Attached mode (NewAttached): the fleet is one cell of a larger
+	// control plane — events go to the external engine, NICs join the
+	// shared fabric in zone, and the heartbeat loop runs until stopped.
+	ext     fabric.Scheduler
+	zone    string
+	stopped bool
+
 	net    *fabric.Network
 	lbNode *fabric.Node
 
@@ -299,8 +309,7 @@ type Fleet struct {
 
 	retryTokens float64
 	rrNext      int
-	ring        []ringPoint
-	ringDirty   bool
+	ring        []ringPoint // sorted vnode ring, maintained incrementally
 
 	plan     *UpgradePlan
 	upgraded bool // plan finished (or absent)
@@ -375,8 +384,13 @@ func NewAutoscaled(cfg Config, backends []*Backend, scaler *AutoscalePolicy, pla
 
 // fabricParams maps the fleet's NetConfig onto the fabric, wiring the
 // legacy fleet drop sites in as extra per-segment faults.
-func (f *Fleet) fabricParams() fabric.Params {
-	nc := f.cfg.Net
+func (f *Fleet) fabricParams() fabric.Params { return FabricParams(f.cfg) }
+
+// FabricParams maps a fleet config's NetConfig onto fabric parameters —
+// exported so attached-mode owners (the region control plane) build the
+// shared fabric with exactly the tuning a standalone fleet would.
+func FabricParams(cfg Config) fabric.Params {
+	nc := cfg.Net
 	p := fabric.DefaultParams()
 	if nc.CIDR != "" {
 		p.CIDR = nc.CIDR
@@ -399,13 +413,18 @@ func (f *Fleet) fabricParams() fabric.Params {
 	}
 	p.DataDropSite = SiteDispatchDrop
 	p.ProbeDropSite = SiteProbeDrop
-	p.Seed = f.cfg.Seed ^ 0xFA_B0_0C
+	p.Seed = cfg.Seed ^ 0xFA_B0_0C
 	return p
 }
 
 // Now and Schedule implement fabric.Scheduler, so wire events interleave
 // with dispatch, probe and autoscaler events on the one replayable heap.
-func (f *Fleet) Now() simclock.Time { return f.clk.Now() }
+func (f *Fleet) Now() simclock.Time {
+	if f.ext != nil {
+		return f.ext.Now()
+	}
+	return f.clk.Now()
+}
 
 // Schedule enqueues fn at virtual time at (never before now).
 func (f *Fleet) Schedule(at simclock.Time, fn func(now simclock.Time)) { f.schedule(at, fn) }
@@ -417,6 +436,9 @@ func (f *Fleet) Net() *fabric.Network { return f.net }
 // the only inputs are the config, the backend timelines, the upgrade
 // plan, and the injector's plan and seed.
 func (f *Fleet) Run() Result {
+	if f.ext != nil {
+		panic("fleet: Run on an attached fleet; the owning engine drives it")
+	}
 	// Arrivals, jittered from the seeded stream.
 	at := f.cfg.TrafficStart
 	for i := 0; i < f.cfg.Requests; i++ {
@@ -451,6 +473,13 @@ func (f *Fleet) Run() Result {
 }
 
 func (f *Fleet) schedule(at simclock.Time, fn func(now simclock.Time)) {
+	if f.ext != nil {
+		if at < f.ext.Now() {
+			at = f.ext.Now()
+		}
+		f.ext.Schedule(at, fn)
+		return
+	}
 	if at < f.clk.Now() {
 		at = f.clk.Now()
 	}
@@ -474,7 +503,7 @@ func (f *Fleet) admit(b *Backend, now simclock.Time) {
 	b.healthy = true
 	b.breaker = NewBreaker(f.cfg.Breaker)
 
-	node, err := f.net.AddNode(b.Name, fabric.LinkSpec{})
+	node, err := f.net.AddNodeZone(b.Name, f.zone, fabric.LinkSpec{})
 	if err != nil {
 		panic(fmt.Sprintf("fleet: admitting %s: %v", b.Name, err))
 	}
@@ -485,7 +514,7 @@ func (f *Fleet) admit(b *Backend, now simclock.Time) {
 	b.lst.OnPending = func(t simclock.Time) { f.serverPump(bb, t) }
 
 	f.backends = append(f.backends, b)
-	f.ringDirty = true
+	f.ringInsert(b)
 	f.observeBackend(b, now)
 }
 
@@ -544,6 +573,19 @@ func (f *Fleet) shed(r *request, reason string, now simclock.Time) {
 			telemetry.A("req", strconv.Itoa(r.id)),
 			telemetry.A("reason", reason))
 	}
+	if r.done != nil {
+		r.done(OutcomeShed, now)
+	}
+}
+
+// failRequest resolves a request that was dispatched but never served.
+func (f *Fleet) failRequest(r *request, now simclock.Time) {
+	f.res.Failed++
+	f.resolved++
+	f.mFailed.Inc()
+	if r.done != nil {
+		r.done(OutcomeFailed, now)
+	}
 }
 
 // dispatch opens a connection to b over the fabric and wires the
@@ -574,6 +616,9 @@ func (f *Fleet) dispatch(r *request, b *Backend, now simclock.Time) {
 			f.res.Latencies = append(f.res.Latencies, lat)
 			f.mOK.Inc()
 			f.hLatency.Observe(lat)
+			if r.done != nil {
+				r.done(OutcomeOK, at)
+			}
 			if f.tr != nil {
 				f.tr.Span("fleet", f.btrack(b), "dispatch", sent, at,
 					telemetry.A("req", strconv.Itoa(r.id)),
@@ -661,9 +706,7 @@ func (f *Fleet) serverPump(b *Backend, now simclock.Time) {
 // fleet-wide token budget.
 func (f *Fleet) retry(r *request, now simclock.Time) {
 	if r.attempts > f.cfg.MaxRetries {
-		f.res.Failed++
-		f.resolved++
-		f.mFailed.Inc()
+		f.failRequest(r, now)
 		return
 	}
 	backoff := f.cfg.RetryBackoff
@@ -674,25 +717,21 @@ func (f *Fleet) retry(r *request, now simclock.Time) {
 	}
 	retryAt := now.Add(backoff)
 	if retryAt.Sub(r.arrival) > f.cfg.Deadline {
-		f.res.Failed++
 		f.res.DeadlineMiss++
-		f.resolved++
-		f.mFailed.Inc()
 		if f.tr != nil {
 			f.tr.Instant("fleet", f.trTrack, "deadline-miss", now,
 				telemetry.A("req", strconv.Itoa(r.id)))
 		}
+		f.failRequest(r, now)
 		return
 	}
 	if f.retryTokens < 1 {
-		f.res.Failed++
 		f.res.BudgetDenied++
-		f.resolved++
-		f.mFailed.Inc()
 		if f.tr != nil {
 			f.tr.Instant("fleet", f.trTrack, "budget-denied", now,
 				telemetry.A("req", strconv.Itoa(r.id)))
 		}
+		f.failRequest(r, now)
 		return
 	}
 	f.retryTokens--
@@ -721,7 +760,11 @@ func (f *Fleet) probeTick(now simclock.Time) {
 			f.probeVerdict(bb, ok, at)
 		})
 	}
-	if f.resolved < f.cfg.Requests || !f.upgraded {
+	if f.ext != nil {
+		if !f.stopped {
+			f.schedule(now.Add(f.cfg.ProbeInterval), f.probeTick)
+		}
+	} else if f.resolved < f.cfg.Requests || !f.upgraded {
 		f.schedule(now.Add(f.cfg.ProbeInterval), f.probeTick)
 	}
 }

@@ -50,28 +50,47 @@ func hashName(name string) uint64 {
 	return h
 }
 
-// rebuildRing rematerializes the vnode ring from current pool
-// membership. Only structurally active backends get points: a draining
-// or retired backend sheds its arc to its ring neighbors, which is the
-// affinity-preserving behavior consistent hashing exists for.
-func (f *Fleet) rebuildRing() {
-	f.ring = f.ring[:0]
-	for _, b := range f.backends {
-		if !b.active() {
-			continue
-		}
-		seed := hashName(b.Name)
-		for v := 0; v < ringVnodes; v++ {
-			f.ring = append(f.ring, ringPoint{hash: mix64(seed + uint64(v)), b: b})
+// The ring is maintained incrementally: membership changes touch only
+// the joining or leaving backend's own vnodes, so every other backend's
+// points — and therefore the keys they own — stay exactly where they
+// were. A departing backend's arcs shed to their clockwise neighbors
+// and nothing else moves, which is the affinity-preserving behavior
+// consistent hashing exists for. (The previous full rebuild-and-resort
+// on every change produced the same ring at O(pool) churn per change;
+// these operations make the bounded-movement guarantee structural.)
+
+// ringLess is the ring's total order: hash, then owner name so equal
+// hashes are deterministic.
+func ringLess(a, b ringPoint) bool {
+	if a.hash != b.hash {
+		return a.hash < b.hash
+	}
+	return a.b.Name < b.b.Name
+}
+
+// ringInsert adds b's vnodes to the sorted ring, leaving every other
+// point untouched.
+func (f *Fleet) ringInsert(b *Backend) {
+	seed := hashName(b.Name)
+	for v := 0; v < ringVnodes; v++ {
+		pt := ringPoint{hash: mix64(seed + uint64(v)), b: b}
+		i := sort.Search(len(f.ring), func(j int) bool { return ringLess(pt, f.ring[j]) })
+		f.ring = append(f.ring, ringPoint{})
+		copy(f.ring[i+1:], f.ring[i:])
+		f.ring[i] = pt
+	}
+}
+
+// ringRemove deletes exactly b's vnodes, preserving the order of the
+// rest.
+func (f *Fleet) ringRemove(b *Backend) {
+	keep := f.ring[:0]
+	for _, pt := range f.ring {
+		if pt.b != b {
+			keep = append(keep, pt)
 		}
 	}
-	sort.Slice(f.ring, func(i, j int) bool {
-		if f.ring[i].hash != f.ring[j].hash {
-			return f.ring[i].hash < f.ring[j].hash
-		}
-		return f.ring[i].b.Name < f.ring[j].b.Name
-	})
-	f.ringDirty = false
+	f.ring = keep
 }
 
 // clientKey is the synthetic client identity used for affinity: with
@@ -131,9 +150,6 @@ func (f *Fleet) pickLeast(now simclock.Time) *Backend {
 // first dispatchable owner with room — affinity first, availability
 // when the preferred backend is out.
 func (f *Fleet) pickHash(r *request, now simclock.Time) *Backend {
-	if f.ringDirty {
-		f.rebuildRing()
-	}
 	n := len(f.ring)
 	if n == 0 {
 		return nil

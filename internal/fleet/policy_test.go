@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// ringOwnerAt resolves a client key to its ring owner the way pickHash
+// starts its walk: first vnode clockwise of the hashed key.
+func ringOwnerAt(f *Fleet, client uint64) *Backend {
+	n := len(f.ring)
+	if n == 0 {
+		return nil
+	}
+	key := mix64(client ^ 0x9E3779B97F4A7C15)
+	i := sort.Search(n, func(j int) bool { return f.ring[j].hash >= key }) % n
+	return f.ring[i].b
+}
+
+func ringPool(n int) (*Fleet, []*Backend) {
+	f := &Fleet{}
+	var pool []*Backend
+	for i := 0; i < n; i++ {
+		b := NewBackend(fmt.Sprintf("vm%d", i), AlwaysUp())
+		pool = append(pool, b)
+		f.ringInsert(b)
+	}
+	return f, pool
+}
+
+func checkRingSorted(t *testing.T, f *Fleet) {
+	t.Helper()
+	for i := 1; i < len(f.ring); i++ {
+		if ringLess(f.ring[i], f.ring[i-1]) {
+			t.Fatalf("ring out of order at %d: %x/%s before %x/%s", i,
+				f.ring[i-1].hash, f.ring[i-1].b.Name, f.ring[i].hash, f.ring[i].b.Name)
+		}
+	}
+}
+
+// TestHashRingChurnBoundedMovement is the consistent-hashing contract:
+// removing one backend mid-run moves ONLY the keys that backend owned
+// (they shed to clockwise neighbors); every other key keeps its owner.
+// Re-inserting it restores the original mapping exactly.
+func TestHashRingChurnBoundedMovement(t *testing.T) {
+	const pool, keys = 8, 10000
+	f, backends := ringPool(pool)
+	checkRingSorted(t, f)
+	if got, want := len(f.ring), pool*ringVnodes; got != want {
+		t.Fatalf("ring has %d points, want %d", got, want)
+	}
+
+	before := make([]*Backend, keys)
+	for k := range before {
+		before[k] = ringOwnerAt(f, uint64(k))
+	}
+	victim := backends[3]
+	owned := 0
+	for _, b := range before {
+		if b == victim {
+			owned++
+		}
+	}
+	if owned == 0 {
+		t.Fatal("victim owns no keys; the test proves nothing")
+	}
+
+	f.ringRemove(victim)
+	checkRingSorted(t, f)
+	if got, want := len(f.ring), (pool-1)*ringVnodes; got != want {
+		t.Fatalf("after removal ring has %d points, want %d", got, want)
+	}
+	moved := 0
+	for k := 0; k < keys; k++ {
+		after := ringOwnerAt(f, uint64(k))
+		if after == victim {
+			t.Fatalf("key %d still resolves to the removed backend", k)
+		}
+		if before[k] != victim && after != before[k] {
+			t.Errorf("key %d moved from surviving %s to %s — removal must only move the victim's keys",
+				k, before[k].Name, after.Name)
+		}
+		if before[k] == victim {
+			moved++
+		}
+	}
+	if moved != owned {
+		t.Errorf("moved %d keys, want exactly the victim's %d", moved, owned)
+	}
+
+	// Membership is history-independent: putting the backend back
+	// restores the exact original mapping.
+	f.ringInsert(victim)
+	checkRingSorted(t, f)
+	for k := 0; k < keys; k++ {
+		if got := ringOwnerAt(f, uint64(k)); got != before[k] {
+			t.Fatalf("key %d owned by %s after re-insert, originally %s", k, got.Name, before[k].Name)
+		}
+	}
+}
+
+// TestHashRingIncrementalMatchesRebuild pins the incremental ring to
+// the reference construction: inserting any subset in any order yields
+// the same sorted ring a from-scratch build does.
+func TestHashRingIncrementalMatchesRebuild(t *testing.T) {
+	f, backends := ringPool(6)
+	// Reference: rebuild from scratch in a fresh fleet, reverse order.
+	ref := &Fleet{}
+	for i := len(backends) - 1; i >= 0; i-- {
+		ref.ringInsert(backends[i])
+	}
+	if len(ref.ring) != len(f.ring) {
+		t.Fatalf("ring lengths differ: %d vs %d", len(ref.ring), len(f.ring))
+	}
+	for i := range ref.ring {
+		if ref.ring[i] != f.ring[i] {
+			t.Fatalf("ring point %d differs: %x/%s vs %x/%s", i,
+				ref.ring[i].hash, ref.ring[i].b.Name, f.ring[i].hash, f.ring[i].b.Name)
+		}
+	}
+}

@@ -96,6 +96,11 @@ type Backend struct {
 	// separate slot because drain() repurposes onRetired as its
 	// continuation, which would silently drop a release callback.
 	onRelease func(now simclock.Time)
+
+	// liveGate, when set, is ANDed into aliveAt: the region plane kills
+	// whole hosts and regions through it without rewriting per-VM
+	// timelines. Probes and dispatches discover the death at the wire.
+	liveGate func(now simclock.Time) bool
 }
 
 // NewBackend wraps a timeline as a pool member. The breaker is attached
@@ -119,9 +124,18 @@ func (b *Backend) Served() int { return b.served }
 // Failed reports requests that failed on this backend.
 func (b *Backend) Failed() int { return b.failed }
 
+// SetLiveGate installs an extra liveness condition ANDed into aliveAt
+// (fleet time). A backend whose gate reports false is dead on the wire
+// regardless of its own timeline — how a host crash or region blackout
+// kills every VM it was carrying at once.
+func (b *Backend) SetLiveGate(fn func(now simclock.Time) bool) { b.liveGate = fn }
+
 // aliveAt is the ground truth: was the service up at fleet time t?
 func (b *Backend) aliveAt(t simclock.Time) bool {
 	if !b.admitted || t < b.start {
+		return false
+	}
+	if b.liveGate != nil && !b.liveGate(t) {
 		return false
 	}
 	return b.Timeline.UpAt(simclock.Time(t.Sub(b.start)))

@@ -80,7 +80,7 @@ func (f *Fleet) upgradeStep(targets []*Backend, surge *Backend, i int, now simcl
 func (f *Fleet) drain(b *Backend, timeout simclock.Duration, now simclock.Time, done func(now simclock.Time)) {
 	b.draining = true
 	b.onRetired = done
-	f.ringDirty = true
+	f.ringRemove(b)
 	if f.tr != nil {
 		f.tr.Instant("fleet", f.btrack(b), "drain", now)
 	}
@@ -110,7 +110,7 @@ func (f *Fleet) retire(b *Backend, now simclock.Time) {
 		return
 	}
 	b.retired = true
-	f.ringDirty = true
+	f.ringRemove(b)
 	if f.tr != nil {
 		f.tr.Instant("fleet", f.btrack(b), "retire", now)
 	}

@@ -167,6 +167,15 @@ func (a *Accountant) Uncommit(n int64) {
 // Committed reports the promised bytes currently outstanding.
 func (a *Accountant) Committed() int64 { return a.committed }
 
+// CommitHeadroom reports the promise bytes still admittable under the
+// overcommit bound — the bin-packing signal placement ranks hosts by.
+func (a *Accountant) CommitHeadroom() int64 {
+	if room := a.CommitLimit() - a.committed; room > 0 {
+		return room
+	}
+	return 0
+}
+
 // Set records component name's current resident bytes, replacing its
 // previous charge, and folds elapsed time at the old pressure level.
 func (a *Accountant) Set(name string, resident int64, now simclock.Time) {

@@ -1,0 +1,603 @@
+package region
+
+import (
+	"container/heap"
+	"fmt"
+
+	"lupine/internal/fabric"
+	"lupine/internal/faults"
+	"lupine/internal/fleet"
+	"lupine/internal/hostmem"
+	"lupine/internal/simclock"
+	"lupine/internal/snapshot"
+	"lupine/internal/telemetry"
+)
+
+// gatewayPort is the well-known port every region gateway serves on.
+const gatewayPort = 8080
+
+// gatewayBacklog bounds a gateway's SYN backlog; overflowing it is the
+// region-level admission shed at the wire.
+const gatewayBacklog = 64
+
+// event is one scheduled state change; seq breaks time ties in schedule
+// order, which is what makes the run replayable.
+type event struct {
+	at  simclock.Time
+	seq int
+	fn  func(now simclock.Time)
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Host is one simulated machine: a hostmem accountant plus the VMs
+// placed on it. A dead host takes every placement with it.
+type Host struct {
+	region *Region
+	idx    int
+	name   string
+	acct   *hostmem.Accountant
+	dead   bool
+}
+
+// Accountant exposes the host's memory ledger for tables and tests.
+func (h *Host) Accountant() *hostmem.Accountant { return h.acct }
+
+// placement is one VM pinned to one host: the fleet backend, the bytes
+// it promised the host, and its region-plane death record.
+type placement struct {
+	b       *fleet.Backend
+	host    *Host
+	reg     *Region
+	kernel  string
+	monitor string
+	tl      fleet.Timeline // service record replacements/evacuees inherit
+	bytes   int64
+	diedAt  simclock.Time // -1 = alive; the live gate reads this
+	moved   bool          // replaced by an evacuation or crash restore
+}
+
+// Region is one failure domain: hosts, a fleet cell behind a gateway on
+// its own fabric zone, and a snapshot store holding the warm pool.
+type Region struct {
+	idx   int // 0-based
+	name  string
+	hosts []*Host
+	fl    *fleet.Fleet
+	gw    *fabric.Node
+	lst   *fabric.Listener
+	store *snapshot.Store
+
+	placements []*placement
+	injectSeq  int
+
+	// Ground truth, written by the fault plane.
+	dark   bool
+	darkAt simclock.Time // -1 = lit; the gateway's live gate reads this
+
+	// The router's view, earned through probes.
+	dead       bool
+	deadAt     simclock.Time
+	probeFails int
+	probeOKs   int
+	evacuated  bool
+
+	st RegionStats
+}
+
+// Fleet exposes the region's cell for tables and tests.
+func (r *Region) Fleet() *fleet.Fleet { return r.fl }
+
+// Store exposes the region's snapshot store for tables and tests.
+func (r *Region) Store() *snapshot.Store { return r.store }
+
+// Dark reports the ground truth: did the fault plane take this region
+// out?
+func (r *Region) Dark() bool { return r.dark }
+
+// Plane is the running control plane. Construct with New, drive with
+// Run. It implements fabric.Scheduler: router, gateways, every region
+// cell and the shared fabric all interleave on its one event heap.
+type Plane struct {
+	cfg Config
+	clk *simclock.Clock
+	inj *faults.Injector
+
+	events eventQueue
+	seq    int
+	popped int
+
+	net     *fabric.Network
+	router  *fabric.Node
+	regions []*Region
+	repl    *snapshot.Replicator
+
+	arrivalRng *faults.Stream
+	rrNext     int
+
+	resolved     int
+	provisioning int // evacuation + crash-replacement restores in flight
+	finished     bool
+
+	tr      *telemetry.Tracer
+	trTrack string
+
+	res Result
+}
+
+// New assembles the plane: fabric zones and trunks, per-region cells,
+// bin-packed placements, and warm-pool replication. inj may be nil (no
+// faults anywhere).
+func New(cfg Config, inj *faults.Injector) *Plane {
+	if len(cfg.Regions) == 0 {
+		panic("region: no regions configured")
+	}
+	p := &Plane{
+		cfg:        cfg,
+		clk:        simclock.New(),
+		inj:        inj,
+		arrivalRng: faults.NewStream(cfg.Seed),
+	}
+	net, err := fabric.New(fleet.FabricParams(cfg.Cell), p, inj)
+	if err != nil {
+		panic(fmt.Sprintf("region: bad fabric config: %v", err))
+	}
+	p.net = net
+
+	// Zone interning order is the package contract (ZoneCore,
+	// RegionZone): router first, then each region's gateway.
+	p.router, err = net.AddNodeZone("router", "core", fabric.LinkSpec{})
+	if err != nil {
+		panic(fmt.Sprintf("region: %v", err))
+	}
+	for i, rs := range cfg.Regions {
+		p.addRegion(i, rs)
+	}
+	p.seedStores()
+	return p
+}
+
+// Now and Schedule implement fabric.Scheduler.
+func (p *Plane) Now() simclock.Time { return p.clk.Now() }
+
+// Schedule enqueues fn at virtual time at (never before now).
+func (p *Plane) Schedule(at simclock.Time, fn func(now simclock.Time)) { p.schedule(at, fn) }
+
+func (p *Plane) schedule(at simclock.Time, fn func(now simclock.Time)) {
+	if at < p.clk.Now() {
+		at = p.clk.Now()
+	}
+	p.seq++
+	heap.Push(&p.events, &event{at: at, seq: p.seq, fn: fn})
+}
+
+// Net exposes the shared fabric for tables and tests.
+func (p *Plane) Net() *fabric.Network { return p.net }
+
+// Regions exposes the failure domains for tables and tests.
+func (p *Plane) Regions() []*Region { return p.regions }
+
+// Observe attaches telemetry: region-lane spans and instants under
+// track, cell lanes under track/<region>. Call before Run.
+func (p *Plane) Observe(tr *telemetry.Tracer, mreg *telemetry.Registry, track string) {
+	if tr == nil {
+		return
+	}
+	p.tr = tr
+	p.trTrack = track
+	for _, r := range p.regions {
+		r.fl.Observe(tr, mreg, track+"/"+r.name)
+	}
+}
+
+// addRegion builds one failure domain: gateway node + listener in its
+// own zone, a trunk from the core, hosts, the fleet cell, and the
+// bin-packed initial pool.
+func (p *Plane) addRegion(i int, rs RegionSpec) {
+	r := &Region{
+		idx:    i,
+		name:   rs.Name,
+		store:  snapshot.NewStore(),
+		darkAt: -1,
+		deadAt: -1,
+	}
+	r.st = RegionStats{Name: rs.Name, DeadAt: -1}
+
+	gw, err := p.net.AddNodeZone(rs.Name+"/gw", rs.Name, fabric.LinkSpec{})
+	if err != nil {
+		panic(fmt.Sprintf("region: %v", err))
+	}
+	rr := r
+	gw.SetAlive(func(t simclock.Time) bool { return rr.darkAt < 0 || t < rr.darkAt })
+	r.gw = gw
+	r.lst = gw.Listen(gatewayPort, gatewayBacklog)
+	r.lst.OnPending = func(now simclock.Time) { p.gatewayPump(rr, now) }
+	p.net.SetTrunk("core", rs.Name, p.cfg.Trunk)
+
+	for h := 0; h < rs.Hosts; h++ {
+		spec := rs.Host
+		r.hosts = append(r.hosts, &Host{
+			region: r,
+			idx:    h,
+			name:   fmt.Sprintf("%s/h%d", rs.Name, h),
+			acct:   hostmem.New(hostmem.Config{Capacity: spec.Capacity, Overcommit: spec.Overcommit}),
+		})
+	}
+
+	cell := p.cfg.Cell
+	cell.Seed = p.cfg.Seed ^ (0xC311 + uint64(i)*7919)
+	r.fl = fleet.NewAttached(cell, p, p.net, rs.Name, p.inj)
+
+	kernel, monitor := p.imageKey()
+	for v := 0; v < p.cfg.PoolPerRegion; v++ {
+		name := fmt.Sprintf("%s/vm%d", rs.Name, v)
+		tl := fleet.AlwaysUp()
+		if p.cfg.Timeline != nil {
+			tl = p.cfg.Timeline(i, v)
+		}
+		if pl := p.place(r, name, kernel, monitor, tl, 0); pl != nil {
+			r.st.Placed++
+		}
+	}
+	p.regions = append(p.regions, r)
+}
+
+// imageKey is the kernel identity the warm pool is keyed by.
+func (p *Plane) imageKey() (kernel, monitor string) {
+	if p.cfg.Snapshot != nil {
+		return p.cfg.Snapshot.Kernel, p.cfg.Snapshot.Monitor
+	}
+	return "kernel", "monitor"
+}
+
+// place bin-packs one VM onto the region host with the most commit
+// headroom (first host wins ties), admits the backend into the cell,
+// and wires the placement's live gate and release hook.
+func (p *Plane) place(r *Region, name, kernel, monitor string, tl fleet.Timeline, now simclock.Time) *placement {
+	h := bestHost(r.hosts, p.cfg.VMBytes)
+	if h == nil {
+		p.res.PlacementDenied++
+		return nil
+	}
+	h.acct.Commit(p.cfg.VMBytes)
+	b := fleet.NewBackend(name, tl)
+	pl := &placement{
+		b: b, host: h, reg: r,
+		kernel: kernel, monitor: monitor, tl: tl,
+		bytes: p.cfg.VMBytes, diedAt: -1,
+	}
+	b.SetLiveGate(func(t simclock.Time) bool { return pl.diedAt < 0 || t < pl.diedAt })
+	b.SetOnRelease(func(simclock.Time) { pl.host.acct.Uncommit(pl.bytes) })
+	r.fl.Admit(b, now)
+	r.placements = append(r.placements, pl)
+	p.res.Placed++
+	return pl
+}
+
+// bestHost returns the live host with the most commit headroom that can
+// admit n more bytes, or nil. Ties break on inventory order, so
+// placement is deterministic.
+func bestHost(hosts []*Host, n int64) *Host {
+	var best *Host
+	for _, h := range hosts {
+		if h.dead || !h.acct.CanAdmit(n) {
+			continue
+		}
+		if best == nil || h.acct.CommitHeadroom() > best.acct.CommitHeadroom() {
+			best = h
+		}
+	}
+	return best
+}
+
+// bestHostExcept is bestHost over every region except the excluded one
+// — the evacuation destination search. Regions the router believes dead
+// or that are actually dark are never destinations.
+func (p *Plane) bestHostExcept(excl *Region, n int64) (*Region, *Host) {
+	var (
+		bestR *Region
+		bestH *Host
+	)
+	for _, r := range p.regions {
+		if r == excl || r.dark || r.dead {
+			continue
+		}
+		if h := bestHost(r.hosts, n); h != nil {
+			if bestH == nil || h.acct.CommitHeadroom() > bestH.acct.CommitHeadroom() {
+				bestR, bestH = r, h
+			}
+		}
+	}
+	return bestR, bestH
+}
+
+// seedStores fills the warm pools: the home region (index 0) holds the
+// capture immediately; peers receive a replica after the priced
+// transfer completes. No snapshot, or replication off, means those
+// paths discover an empty store and cold-boot — the comparator story.
+func (p *Plane) seedStores() {
+	snap := p.cfg.Snapshot
+	if snap == nil {
+		return
+	}
+	p.regions[0].store.Put(snap)
+	if !p.cfg.Replicate {
+		return
+	}
+	p.repl = snapshot.NewReplicator(p.cfg.ReplBandwidth)
+	for _, r := range p.regions[1:] {
+		d := p.repl.Replicate(snap)
+		rr := r
+		p.schedule(simclock.Time(0).Add(d), func(simclock.Time) { rr.store.Put(snap) })
+	}
+}
+
+// Run plays the whole scenario and returns the result. Deterministic:
+// the only inputs are the config and the injector's plan and seed.
+func (p *Plane) Run() Result {
+	at := p.cfg.TrafficStart
+	for i := 0; i < p.cfg.Requests; i++ {
+		r := &greq{id: i, arrival: at.Add(p.jitter(p.cfg.ArrivalJitter))}
+		p.schedule(r.arrival, func(now simclock.Time) { p.routeRequest(r, now) })
+		at = at.Add(p.cfg.Interarrival)
+	}
+	p.res.Total = p.cfg.Requests
+	p.schedule(simclock.Time(p.cfg.ProbeInterval), p.probeTick)
+	p.schedule(simclock.Time(p.cfg.ControlEvery), p.controlTick)
+	for _, r := range p.regions {
+		r.fl.Start(0)
+	}
+	for p.events.Len() > 0 {
+		e := heap.Pop(&p.events).(*event)
+		p.popped++
+		p.clk.AdvanceTo(e.at)
+		e.fn(e.at)
+	}
+	p.res.End = p.clk.Now()
+	p.res.Events = p.popped
+	p.finishStats()
+	return p.res
+}
+
+func (p *Plane) jitter(span simclock.Duration) simclock.Duration {
+	if span <= 0 {
+		return 0
+	}
+	return simclock.Duration(p.arrivalRng.Intn(int(span)))
+}
+
+// finishStats folds per-region and per-cell accounting into the result.
+func (p *Plane) finishStats() {
+	if p.repl != nil {
+		p.res.Repl = p.repl.Stats()
+	}
+	for _, r := range p.regions {
+		r.st.Dark = r.dark
+		r.st.Dead = r.dead
+		r.st.DeadAt = r.deadAt
+		p.res.PerRegion = append(p.res.PerRegion, r.st)
+		p.res.Cells = append(p.res.Cells, r.fl.Finish(p.res.End))
+	}
+	for _, r := range p.regions {
+		for _, pl := range r.placements {
+			if pl.diedAt >= 0 && !pl.moved {
+				p.res.Unrecovered++
+			}
+		}
+	}
+}
+
+// maybeFinish stops the control loops once all requests resolved and no
+// provisioning is in flight; the heap then drains naturally.
+func (p *Plane) maybeFinish(simclock.Time) {
+	if p.finished || p.resolved < p.cfg.Requests || p.provisioning > 0 {
+		return
+	}
+	p.finished = true
+	for _, r := range p.regions {
+		r.fl.Stop()
+	}
+}
+
+// --- the region fault plane ---
+
+// controlTick consults the region fault sites once per tick, in a fixed
+// order, so the storm replays bit-for-bit.
+func (p *Plane) controlTick(now simclock.Time) {
+	if d := p.inj.Hit(SiteBlackout, now); d.Fire {
+		if i := int(d.Param) - 1; i >= 0 && i < len(p.regions) && !p.regions[i].dark {
+			p.blackout(p.regions[i], now)
+		}
+	}
+	if d := p.inj.Hit(SiteHostCrash, now); d.Fire {
+		ri, hi := int(d.Param/1000)-1, int(d.Param%1000)-1
+		if ri >= 0 && ri < len(p.regions) && hi >= 0 && hi < len(p.regions[ri].hosts) {
+			if h := p.regions[ri].hosts[hi]; !h.dead && !p.regions[ri].dark {
+				p.crashHost(h, now)
+			}
+		}
+	}
+	if !p.finished {
+		p.schedule(now.Add(p.cfg.ControlEvery), p.controlTick)
+	}
+}
+
+// blackout is the ground truth of a region dying: gateway and every VM
+// go dark at once. Nothing is signalled to the router — its probes have
+// to find out.
+func (p *Plane) blackout(r *Region, now simclock.Time) {
+	r.dark = true
+	r.darkAt = now
+	for _, pl := range r.placements {
+		if pl.diedAt < 0 {
+			pl.diedAt = now
+		}
+	}
+	if p.tr != nil {
+		p.tr.Instant("region", p.trTrack, "blackout", now, telemetry.A("region", r.name))
+	}
+}
+
+// crashHost kills one host: its placements die on the wire, are retired
+// from the cell, and replacements restore from the region's own warm
+// pool onto surviving local hosts.
+func (p *Plane) crashHost(h *Host, now simclock.Time) {
+	h.dead = true
+	p.res.HostCrashes++
+	if p.tr != nil {
+		p.tr.Instant("region", p.trTrack, "host-crash", now, telemetry.A("host", h.name))
+	}
+	for _, pl := range h.region.placements {
+		if pl.host != h || pl.diedAt >= 0 {
+			continue
+		}
+		pl.diedAt = now
+		p.res.CrashKilled++
+		h.region.st.Crashes++
+		h.region.fl.Retire(pl.b, now)
+		p.replaceLocal(pl, now)
+	}
+}
+
+// replaceLocal restores a crashed VM's replacement inside its own
+// region, from the local warm pool, onto the best surviving host.
+func (p *Plane) replaceLocal(victim *placement, now simclock.Time) {
+	r := victim.reg
+	h := bestHost(r.hosts, victim.bytes)
+	if h == nil {
+		return // no capacity: finishStats counts the victim unrecovered
+	}
+	h.acct.Commit(victim.bytes)
+	ready, _, _ := p.provision(r, victim.kernel, victim.monitor, now)
+	p.provisioning++
+	name := victim.b.Name + "'"
+	p.schedule(now.Add(ready), func(t simclock.Time) {
+		p.provisioning--
+		if r.dark {
+			// The whole region died while the replacement was booting;
+			// evacuation owns the recovery now.
+			h.acct.Uncommit(victim.bytes)
+			p.maybeFinish(t)
+			return
+		}
+		nb := fleet.NewBackend(name, victim.tl)
+		pl := &placement{
+			b: nb, host: h, reg: r,
+			kernel: victim.kernel, monitor: victim.monitor, tl: victim.tl,
+			bytes: victim.bytes, diedAt: -1,
+		}
+		nb.SetLiveGate(func(tt simclock.Time) bool { return pl.diedAt < 0 || tt < pl.diedAt })
+		nb.SetOnRelease(func(simclock.Time) { pl.host.acct.Uncommit(pl.bytes) })
+		r.fl.Admit(nb, t)
+		r.placements = append(r.placements, pl)
+		victim.moved = true
+		p.res.CrashRecovered++
+		if p.tr != nil {
+			p.tr.Instant("region", p.trTrack, "crash-restore", t, telemetry.A("backend", nb.Name))
+		}
+		p.maybeFinish(t)
+	})
+}
+
+// provision prices bringing one VM up in region r: a warm restore from
+// the local store when a replica is there (restore faults fall back to
+// a cold boot, accounted), a cold boot otherwise.
+func (p *Plane) provision(r *Region, kernel, monitor string, now simclock.Time) (ready simclock.Duration, restored, fallback bool) {
+	snap, ok := r.store.Get(kernel, monitor)
+	if !ok {
+		return p.cfg.ColdBoot, false, false
+	}
+	rr := snap.Restore(p.cfg.Monitor, p.inj, now, p.cfg.ColdBoot)
+	return rr.Ready, rr.Restored, !rr.Restored
+}
+
+// --- evacuation ---
+
+// maybeEvacuate runs when a dead region's dwell expires: if it healed
+// and rejoined in the meantime, nothing happens; otherwise every
+// backend it held is restored into the survivors.
+func (p *Plane) maybeEvacuate(r *Region, now simclock.Time) {
+	if !r.dead || r.evacuated {
+		return
+	}
+	r.evacuated = true
+	if p.res.EvacStart == 0 || now < p.res.EvacStart {
+		p.res.EvacStart = now
+	}
+	if p.tr != nil {
+		p.tr.Instant("region", p.trTrack, "evacuate", now, telemetry.A("region", r.name))
+	}
+	for _, pl := range r.placements {
+		if pl.moved {
+			continue
+		}
+		p.evacuateOne(pl, now)
+	}
+}
+
+// evacuateOne restores one dead-region backend into the surviving
+// region with the most commit headroom, from that region's replica
+// store — cold-booting only when no replica is there or a restore
+// fault forces the fallback.
+func (p *Plane) evacuateOne(victim *placement, now simclock.Time) {
+	dest, h := p.bestHostExcept(victim.reg, victim.bytes)
+	if dest == nil {
+		return // nowhere to go: finishStats counts the victim unrecovered
+	}
+	h.acct.Commit(victim.bytes)
+	ready, restored, fallback := p.provision(dest, victim.kernel, victim.monitor, now)
+	p.res.EvacReady = append(p.res.EvacReady, ready)
+	switch {
+	case restored:
+		p.res.EvacRestores++
+	case fallback:
+		p.res.EvacFallbacks++
+	default:
+		p.res.EvacCold++
+	}
+	p.provisioning++
+	name := victim.b.Name + "@" + dest.name
+	p.schedule(now.Add(ready), func(t simclock.Time) {
+		p.provisioning--
+		nb := fleet.NewBackend(name, victim.tl)
+		pl := &placement{
+			b: nb, host: h, reg: dest,
+			kernel: victim.kernel, monitor: victim.monitor, tl: victim.tl,
+			bytes: victim.bytes, diedAt: -1,
+		}
+		nb.SetLiveGate(func(tt simclock.Time) bool { return pl.diedAt < 0 || tt < pl.diedAt })
+		nb.SetOnRelease(func(simclock.Time) { pl.host.acct.Uncommit(pl.bytes) })
+		dest.fl.Admit(nb, t)
+		dest.placements = append(dest.placements, pl)
+		dest.st.TookIn++
+		victim.moved = true
+		p.res.Evacuated++
+		if t > p.res.EvacEnd {
+			p.res.EvacEnd = t
+		}
+		if p.tr != nil {
+			p.tr.Instant("region", p.trTrack, "evac-restore", t,
+				telemetry.A("backend", nb.Name),
+				telemetry.A("host", h.name))
+		}
+		p.maybeFinish(t)
+	})
+}

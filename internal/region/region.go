@@ -1,0 +1,311 @@
+// Package region is the multi-region control plane over the fleet
+// layer: the paper's specialized-kernel pools, composed one level up
+// into a deployment that survives the death of a whole region. Many
+// simulated hosts — each with its own hostmem accountant — are grouped
+// into regions; VM pools are bin-packed onto hosts against commit
+// headroom; each region is a fleet cell (internal/fleet in attached
+// mode) behind a gateway on a shared multi-switch fabric, with the
+// global router in its own "core" zone dialing gateways across
+// inter-region trunks. Every region keeps a snapshot store; the home
+// region's warm capture is replicated to its peers ahead of need.
+//
+// Robustness is the headline: a region-level fault plane (region
+// blackout, host crash, inter-region trunk partition) drives cross-
+// region failover. The router discovers a dead region the only way a
+// real one can — health probes over the fabric going unanswered — then
+// surge-routes its share to the survivors, whose own admission control
+// sheds what they cannot absorb. After a dwell (so a transient
+// partition does not trigger a pointless mass migration), the dead
+// region's backends are evacuated: restored into surviving regions
+// from the replicated snapshots in microseconds, cold-booting only
+// when a replica is missing or a restore-fault fires. Everything runs
+// on one virtual-time event heap, so a fixed seed replays bit-for-bit.
+package region
+
+import (
+	"lupine/internal/faults"
+	"lupine/internal/fleet"
+	"lupine/internal/metrics"
+	"lupine/internal/simclock"
+	"lupine/internal/snapshot"
+	"lupine/internal/vmm"
+
+	"lupine/internal/fabric"
+)
+
+// Region-owned fault-injection sites. Both are consulted once per
+// control tick (not per segment), so arming them never perturbs the
+// fabric's own fault stream.
+const (
+	// SiteBlackout takes a whole region dark: every host, VM and the
+	// gateway die at the firing tick. Param is the 1-based region index.
+	// A blackout is terminal for the run — evacuation, not recovery, is
+	// the region's exit.
+	SiteBlackout = "region/blackout"
+	// SiteHostCrash kills one host and every VM placed on it. Param is
+	// region*1000 + host, both 1-based. The region replaces the lost
+	// backends from its own snapshot store.
+	SiteHostCrash = "region/host-crash"
+)
+
+func init() {
+	faults.RegisterSite(SiteBlackout, "region",
+		"a whole region goes dark at this control tick; Param = 1-based region index")
+	faults.RegisterSite(SiteHostCrash, "region",
+		"one host and its VMs die; Param = region*1000 + host (1-based)")
+}
+
+// Fabric zone ids are interned in construction order and the injector
+// plan is written before the plane exists, so the mapping is part of
+// the package contract: the router's core zone is always 1 and region
+// i's zone is always i+2.
+const ZoneCore = 1
+
+// RegionZone maps a 0-based region index to its fabric zone id — the
+// id space fabric.SiteTrunkCut params address.
+func RegionZone(i int) int { return i + 2 }
+
+// CutInto builds the trunk-cut param that blackholes all traffic INTO
+// region i (its own egress still flows — an asymmetric partition).
+func CutInto(i int) int64 { return int64(RegionZone(i)) }
+
+// CutOutOf builds the trunk-cut param that blackholes all traffic OUT
+// OF region i (it hears the world and answers into the void).
+func CutOutOf(i int) int64 { return int64(RegionZone(i)) * 1000 }
+
+// HostSpec sizes one simulated host's memory accountant.
+type HostSpec struct {
+	Capacity   int64   // physical bytes available to guest memory
+	Overcommit float64 // admission bound multiplier (0 = 1.0)
+}
+
+// RegionSpec describes one region's host inventory.
+type RegionSpec struct {
+	Name  string
+	Hosts int
+	Host  HostSpec
+}
+
+// Config tunes the control plane. All durations are virtual.
+type Config struct {
+	Regions       []RegionSpec
+	PoolPerRegion int   // backends placed per region at build time
+	VMBytes       int64 // committed bytes each placement promises its host
+
+	// Cell tunes each region's fleet (attached mode: the Requests,
+	// TrafficStart and upgrade knobs are ignored; probes, breakers,
+	// retry policy, slots and the wire all apply per cell).
+	Cell fleet.Config
+
+	// Timeline, when set, supplies each initial placement's service
+	// record (region and vm are 0-based); nil means every VM serves
+	// forever. Comparator pools that die of the workload's first fork
+	// plug in here — replacements and evacuees inherit the victim's
+	// timeline, so a kernel that cannot survive the workload keeps
+	// dying wherever the control plane restores it.
+	Timeline func(region, vm int) fleet.Timeline
+
+	// Global traffic: Requests arrivals from TrafficStart, Interarrival
+	// apart, jittered by a seeded draw in [0, ArrivalJitter).
+	Requests      int
+	TrafficStart  simclock.Time
+	Interarrival  simclock.Duration
+	ArrivalJitter simclock.Duration
+
+	// Router dispatch: payload sizes on the router->gateway hop, the
+	// per-connection response deadline, and the global retry policy.
+	RequestBytes  int
+	ResponseBytes int
+	RespTimeout   simclock.Duration
+	Deadline      simclock.Duration // per-request global deadline
+	MaxAttempts   int               // dispatches per request across regions
+
+	// Failover detection: the router probes every gateway each
+	// ProbeInterval; FailAfter consecutive misses declare the region
+	// dead, RiseAfter consecutive replies re-admit it.
+	ProbeInterval simclock.Duration
+	ProbeTimeout  simclock.Duration
+	FailAfter     int
+	RiseAfter     int
+
+	// EvacuateAfter is the dwell between declaring a region dead and
+	// evacuating it — long enough that a healed partition rejoins
+	// instead of triggering a mass migration.
+	EvacuateAfter simclock.Duration
+
+	// ControlEvery is the fault-plane tick consulting the region sites.
+	ControlEvery simclock.Duration
+
+	// Trunk is the inter-region link spec (core<->region, per region).
+	Trunk fabric.LinkSpec
+
+	// Warm pools: Snapshot (may be nil) is the home region's captured
+	// image; when Replicate is set it is shipped to every peer store at
+	// ReplBandwidth bytes per virtual second before it can be restored
+	// there. Evacuations and crash replacements restore from the local
+	// store and fall back to a ColdBoot when no replica (or a
+	// restore-fault) leaves them no choice.
+	Snapshot      *snapshot.Snapshot
+	Monitor       *vmm.Monitor
+	Replicate     bool
+	ReplBandwidth int64
+	ColdBoot      simclock.Duration
+
+	Seed uint64
+}
+
+// DefaultConfig is a three-region plane, comfortably provisioned so
+// that two survivors absorb a third region's share.
+func DefaultConfig() Config {
+	const (
+		us  = simclock.Microsecond
+		ms  = simclock.Millisecond
+		mib = int64(1) << 20
+	)
+	cell := fleet.DefaultConfig()
+	cell.Requests = 0
+	return Config{
+		Regions: []RegionSpec{
+			{Name: "r0", Hosts: 2, Host: HostSpec{Capacity: 1024 * mib, Overcommit: 1.5}},
+			{Name: "r1", Hosts: 2, Host: HostSpec{Capacity: 1024 * mib, Overcommit: 1.5}},
+			{Name: "r2", Hosts: 2, Host: HostSpec{Capacity: 1024 * mib, Overcommit: 1.5}},
+		},
+		PoolPerRegion: 3,
+		VMBytes:       128 * mib,
+		Cell:          cell,
+
+		Requests:      2000,
+		TrafficStart:  2 * simclock.Time(ms),
+		Interarrival:  50 * us,
+		ArrivalJitter: 20 * us,
+
+		RequestBytes:  1500,
+		ResponseBytes: 8192,
+		RespTimeout:   4 * ms,
+		Deadline:      12 * ms,
+		MaxAttempts:   3,
+
+		ProbeInterval: 1 * ms,
+		ProbeTimeout:  600 * us,
+		FailAfter:     2,
+		RiseAfter:     2,
+
+		EvacuateAfter: 8 * ms,
+		ControlEvery:  500 * us,
+
+		Trunk: fabric.LinkSpec{Latency: 150 * us, Bandwidth: 1250 * 1000 * 1000},
+
+		Replicate:     true,
+		ReplBandwidth: 4 * 1000 * 1000 * 1000,
+		ColdBoot:      5 * ms,
+
+		Seed: 42,
+	}
+}
+
+// RegionStats is one region's view of the run.
+type RegionStats struct {
+	Name    string
+	Routed  int // requests the router dispatched here
+	OK      int // served from here (router-observed)
+	Shed    int // refused by this cell's admission (backlog, no backend)
+	Failed  int // router-observed dispatch failures against this region
+	Placed  int // backends bin-packed here at build time
+	TookIn  int // evacuated backends restored into this region
+	Dark    bool
+	Dead    bool          // router verdict at end of run
+	DeadAt  simclock.Time // failover declaration instant (-1 = never)
+	Crashes int           // host-crash VM kills inside this region
+}
+
+// Result is what one control-plane run reports.
+type Result struct {
+	Total  int
+	OK     int
+	Shed   int // refused with no healthy region to try
+	Failed int
+	Events int
+	End    simclock.Time
+
+	Latencies []simclock.Duration
+
+	Placed          int
+	PlacementDenied int
+
+	Failovers  int                 // dead declarations by the router
+	FalseTrips int                 // declarations while the region was actually alive
+	Rejoins    int                 // dead regions that healed back into rotation
+	Detect     []simclock.Duration // ground-truth-dark -> declaration, per true failover
+
+	Evacuated     int                 // backends restored into survivors from a dead region
+	EvacRestores  int                 // evacuations served by a snapshot replica
+	EvacFallbacks int                 // restore-fault fallbacks (cold boot after a doomed restore)
+	EvacCold      int                 // evacuations with no replica at all
+	EvacReady     []simclock.Duration // per-evacuee provisioning cost (restore or cold)
+	EvacStart     simclock.Time
+	EvacEnd       simclock.Time
+
+	HostCrashes    int // hosts the fault plane killed
+	CrashKilled    int // VMs those crashes took down
+	CrashRecovered int // replacements restored in-region
+
+	Unrecovered int // killed backends never replaced anywhere
+
+	Repl snapshot.ReplStats
+
+	PerRegion []RegionStats
+	Cells     []fleet.Result
+}
+
+// Availability is the fraction of offered requests that were served.
+func (r *Result) Availability() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.OK) / float64(r.Total)
+}
+
+// Percentile returns the p-th percentile served latency.
+func (r *Result) Percentile(p float64) simclock.Duration {
+	ns := make([]int64, len(r.Latencies))
+	for i, d := range r.Latencies {
+		ns[i] = int64(d)
+	}
+	return simclock.Duration(metrics.Percentile(ns, p))
+}
+
+// DetectPercentile returns the p-th percentile failover detection
+// latency over true failovers (0 when none happened).
+func (r *Result) DetectPercentile(p float64) simclock.Duration {
+	if len(r.Detect) == 0 {
+		return 0
+	}
+	ns := make([]int64, len(r.Detect))
+	for i, d := range r.Detect {
+		ns[i] = int64(d)
+	}
+	return simclock.Duration(metrics.Percentile(ns, p))
+}
+
+// EvacReadyPercentile returns the p-th percentile per-evacuee
+// provisioning cost (0 when no evacuation ran). The median separates
+// restore-backed evacuations from cold ones even when one fallback's
+// cold boot dominates the wave's wall time.
+func (r *Result) EvacReadyPercentile(p float64) simclock.Duration {
+	if len(r.EvacReady) == 0 {
+		return 0
+	}
+	ns := make([]int64, len(r.EvacReady))
+	for i, d := range r.EvacReady {
+		ns[i] = int64(d)
+	}
+	return simclock.Duration(metrics.Percentile(ns, p))
+}
+
+// EvacDuration is the wall span of the evacuation wave (0 = none ran).
+func (r *Result) EvacDuration() simclock.Duration {
+	if r.EvacEnd <= r.EvacStart {
+		return 0
+	}
+	return r.EvacEnd.Sub(r.EvacStart)
+}

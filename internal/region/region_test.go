@@ -1,0 +1,290 @@
+package region
+
+import (
+	"reflect"
+	"testing"
+
+	"lupine/internal/fabric"
+	"lupine/internal/faults"
+	"lupine/internal/simclock"
+	"lupine/internal/snapshot"
+)
+
+const (
+	ms  = simclock.Millisecond
+	mib = int64(1) << 20
+)
+
+// testSnapshot is a warm capture fixture: 32 MiB of base RSS makes the
+// replication transfer (4 GB/s default) land at 8 ms — before any
+// evacuation this suite triggers.
+func testSnapshot() *snapshot.Snapshot {
+	return &snapshot.Snapshot{
+		ID:        "feedface00000000",
+		Kernel:    "k-test",
+		Monitor:   "firecracker",
+		BootTotal: 5 * ms,
+		BaseRSS:   32 * mib,
+	}
+}
+
+// testConfig shrinks the default plane to a fast test workload.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Requests = 400
+	cfg.Snapshot = testSnapshot()
+	cfg.ColdBoot = 5 * ms
+	return cfg
+}
+
+func mustInj(t *testing.T, pl faults.Plan) *faults.Injector {
+	t.Helper()
+	inj, err := faults.New(pl)
+	if err != nil {
+		t.Fatalf("bad plan: %v", err)
+	}
+	return inj
+}
+
+// blackoutPlan darkens region 2 (1-based param) at 8 ms.
+func blackoutPlan() faults.Plan {
+	return faults.Plan{
+		Seed: 7,
+		Rules: []faults.Rule{
+			{Site: SiteBlackout, From: 8 * simclock.Time(ms), To: 9 * simclock.Time(ms), Prob: 1, Param: 2},
+		},
+	}
+}
+
+func TestCleanRunServesEverything(t *testing.T) {
+	cfg := testConfig()
+	res := New(cfg, nil).Run()
+	if res.Total != cfg.Requests {
+		t.Fatalf("Total = %d, want %d", res.Total, cfg.Requests)
+	}
+	if res.OK != res.Total {
+		t.Errorf("clean run served %d/%d (shed %d, failed %d)", res.OK, res.Total, res.Shed, res.Failed)
+	}
+	if res.Failovers != 0 || res.Evacuated != 0 {
+		t.Errorf("clean run declared %d failovers, evacuated %d", res.Failovers, res.Evacuated)
+	}
+	if want := 3 * cfg.PoolPerRegion; res.Placed != want {
+		t.Errorf("Placed = %d, want %d", res.Placed, want)
+	}
+	if res.Unrecovered != 0 {
+		t.Errorf("Unrecovered = %d, want 0", res.Unrecovered)
+	}
+}
+
+func TestBlackoutFailoverAndWarmEvacuation(t *testing.T) {
+	cfg := testConfig()
+	p := New(cfg, mustInj(t, blackoutPlan()))
+	res := p.Run()
+
+	if !p.Regions()[1].Dark() {
+		t.Fatal("region r1 should be dark")
+	}
+	if res.Failovers < 1 {
+		t.Fatalf("no failover declared; result %+v", res)
+	}
+	if len(res.Detect) != 1 {
+		t.Fatalf("Detect = %v, want exactly one true-failover detection", res.Detect)
+	}
+	if d := res.Detect[0]; d <= 0 || d > 10*ms {
+		t.Errorf("detection latency %v out of range", d)
+	}
+	if res.FalseTrips != 0 {
+		t.Errorf("FalseTrips = %d, want 0 (the region really died)", res.FalseTrips)
+	}
+	if res.Evacuated != cfg.PoolPerRegion {
+		t.Errorf("Evacuated = %d, want %d", res.Evacuated, cfg.PoolPerRegion)
+	}
+	if res.EvacRestores != cfg.PoolPerRegion || res.EvacCold != 0 || res.EvacFallbacks != 0 {
+		t.Errorf("evacuation should be all warm restores: restores=%d cold=%d fallbacks=%d",
+			res.EvacRestores, res.EvacCold, res.EvacFallbacks)
+	}
+	if res.Unrecovered != 0 {
+		t.Errorf("Unrecovered = %d, want 0", res.Unrecovered)
+	}
+	if a := res.Availability(); a < 0.90 {
+		t.Errorf("availability %.3f < 0.90 through a full-region blackout", a)
+	}
+	// The survivors host the evacuees: the two live cells gained pool
+	// members, and the replicas they restored from were shipped bytes.
+	took := 0
+	for _, rs := range res.PerRegion {
+		took += rs.TookIn
+	}
+	if took != cfg.PoolPerRegion {
+		t.Errorf("TookIn sum = %d, want %d", took, cfg.PoolPerRegion)
+	}
+	if res.Repl.Copies != 2 || res.Repl.Bytes != 2*testSnapshot().BaseRSS {
+		t.Errorf("replication ledger %+v, want 2 copies of the base RSS", res.Repl)
+	}
+}
+
+func TestColdEvacuationWithoutReplicas(t *testing.T) {
+	cfg := testConfig()
+	cfg.Snapshot = nil // no capture anywhere: the no-warm-pool comparator
+	cfg.Replicate = false
+	res := New(cfg, mustInj(t, blackoutPlan())).Run()
+
+	if res.Evacuated != cfg.PoolPerRegion {
+		t.Fatalf("Evacuated = %d, want %d", res.Evacuated, cfg.PoolPerRegion)
+	}
+	if res.EvacRestores != 0 || res.EvacCold != cfg.PoolPerRegion {
+		t.Errorf("unreplicated evacuation should cold-boot: restores=%d cold=%d",
+			res.EvacRestores, res.EvacCold)
+	}
+	if res.Unrecovered != 0 {
+		t.Errorf("Unrecovered = %d, want 0", res.Unrecovered)
+	}
+	// Cold boots are milliseconds; warm restores are microseconds. The
+	// evacuation wave must reflect the gap.
+	warm := New(testConfig(), mustInj(t, blackoutPlan())).Run()
+	if res.EvacDuration() <= warm.EvacDuration() {
+		t.Errorf("cold evacuation (%v) should be slower than warm (%v)",
+			res.EvacDuration(), warm.EvacDuration())
+	}
+}
+
+// restoreFaultPlan arms a restore-fail against the first evacuation
+// restore, on top of the blackout.
+func restoreFaultPlan() faults.Plan {
+	pl := blackoutPlan()
+	pl.Rules = append(pl.Rules, faults.Rule{Site: snapshot.SiteRestoreFail, NthHit: 1})
+	return pl
+}
+
+func TestEvacuationRestoreFaultFallsBackCold(t *testing.T) {
+	cfg := testConfig()
+	res := New(cfg, mustInj(t, restoreFaultPlan())).Run()
+	if res.Evacuated != cfg.PoolPerRegion {
+		t.Fatalf("Evacuated = %d, want %d", res.Evacuated, cfg.PoolPerRegion)
+	}
+	if res.EvacFallbacks != 1 || res.EvacRestores != cfg.PoolPerRegion-1 {
+		t.Errorf("restore fault should force exactly one fallback: restores=%d fallbacks=%d",
+			res.EvacRestores, res.EvacFallbacks)
+	}
+	if res.Unrecovered != 0 {
+		t.Errorf("Unrecovered = %d, want 0", res.Unrecovered)
+	}
+}
+
+// partitionPlan cuts all trunk traffic INTO region 1 (0-based) for 4 ms
+// — shorter than the evacuation dwell, so the region must rejoin.
+func partitionPlan() faults.Plan {
+	return faults.Plan{
+		Seed: 7,
+		Rules: []faults.Rule{
+			{Site: fabric.SiteTrunkCut, From: 8 * simclock.Time(ms), To: 12 * simclock.Time(ms), Prob: 1, Param: CutInto(1)},
+		},
+	}
+}
+
+func TestPartitionFalseTripHealsAndRejoins(t *testing.T) {
+	cfg := testConfig()
+	p := New(cfg, mustInj(t, partitionPlan()))
+	res := p.Run()
+
+	if p.Regions()[1].Dark() {
+		t.Fatal("a partition must not darken the region: it is alive")
+	}
+	if res.FalseTrips < 1 {
+		t.Fatalf("partition should cause a false failover; result %+v", res)
+	}
+	if res.Rejoins < 1 {
+		t.Errorf("healed region should rejoin (Rejoins = %d)", res.Rejoins)
+	}
+	if res.Evacuated != 0 {
+		t.Errorf("a transient partition must not evacuate (Evacuated = %d)", res.Evacuated)
+	}
+	if len(res.Detect) != 0 {
+		t.Errorf("false trips must not count as true detections: %v", res.Detect)
+	}
+	if a := res.Availability(); a < 0.90 {
+		t.Errorf("availability %.3f < 0.90 through the partition", a)
+	}
+	if res.PerRegion[1].Dead {
+		t.Errorf("region r1 should be back in rotation at end of run")
+	}
+}
+
+// crashPlan kills region 1's host 1 (both 1-based: the home region's
+// first host) at 8 ms.
+func crashPlan() faults.Plan {
+	return faults.Plan{
+		Seed: 7,
+		Rules: []faults.Rule{
+			{Site: SiteHostCrash, From: 8 * simclock.Time(ms), NthHit: 1, Param: 1001},
+		},
+	}
+}
+
+func TestHostCrashRestoresLocally(t *testing.T) {
+	cfg := testConfig()
+	res := New(cfg, mustInj(t, crashPlan())).Run()
+
+	if res.HostCrashes != 1 {
+		t.Fatalf("HostCrashes = %d, want 1", res.HostCrashes)
+	}
+	if res.CrashKilled == 0 {
+		t.Fatal("the crashed host carried no VMs; placement is broken")
+	}
+	if res.CrashRecovered != res.CrashKilled {
+		t.Errorf("CrashRecovered = %d, want %d (every killed VM replaced in-region)",
+			res.CrashRecovered, res.CrashKilled)
+	}
+	if res.Evacuated != 0 || res.Failovers != 0 {
+		t.Errorf("a host crash must stay inside its region: evacuated=%d failovers=%d",
+			res.Evacuated, res.Failovers)
+	}
+	if res.Unrecovered != 0 {
+		t.Errorf("Unrecovered = %d, want 0", res.Unrecovered)
+	}
+	if a := res.Availability(); a < 0.90 {
+		t.Errorf("availability %.3f < 0.90 through a host crash", a)
+	}
+}
+
+// stormPlan is the full regional storm: blackout + partition + host
+// crash + one restore fault, all in one run.
+func stormPlan() faults.Plan {
+	return faults.Plan{
+		Seed: 7,
+		Rules: []faults.Rule{
+			{Site: SiteBlackout, From: 8 * simclock.Time(ms), To: 9 * simclock.Time(ms), Prob: 1, Param: 2},
+			{Site: fabric.SiteTrunkCut, From: 10 * simclock.Time(ms), To: 13 * simclock.Time(ms), Prob: 1, Param: CutInto(2)},
+			{Site: SiteHostCrash, From: 6 * simclock.Time(ms), NthHit: 1, Param: 1001},
+			{Site: snapshot.SiteRestoreFail, NthHit: 2},
+		},
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	a := New(testConfig(), mustInj(t, stormPlan())).Run()
+	b := New(testConfig(), mustInj(t, stormPlan())).Run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different runs:\n a=%+v\n b=%+v", a, b)
+	}
+	if a.Events == 0 || a.OK == 0 {
+		t.Fatalf("storm run did no work: %+v", a)
+	}
+}
+
+func TestPlacementDeniedWhenHostsFull(t *testing.T) {
+	cfg := testConfig()
+	cfg.Requests = 50
+	for i := range cfg.Regions {
+		cfg.Regions[i].Host.Capacity = 200 * mib // fits 2 x 128 MiB at 1.5x, not 3
+		cfg.Regions[i].Hosts = 1
+	}
+	res := New(cfg, nil).Run()
+	if res.PlacementDenied == 0 {
+		t.Fatal("overcommitted hosts should deny placements")
+	}
+	if res.Placed+res.PlacementDenied != 3*cfg.PoolPerRegion {
+		t.Errorf("Placed(%d) + Denied(%d) != requested %d",
+			res.Placed, res.PlacementDenied, 3*cfg.PoolPerRegion)
+	}
+}

@@ -1,0 +1,208 @@
+package region
+
+import (
+	"strconv"
+
+	"lupine/internal/fabric"
+	"lupine/internal/fleet"
+	"lupine/internal/simclock"
+	"lupine/internal/telemetry"
+)
+
+// The global router: the one component that sees every region. It
+// spreads arrivals round-robin over regions it believes alive, learns
+// about dead ones exclusively through gateway heartbeats crossing the
+// inter-region trunks, and on a dispatch failure retries the request
+// against a different region — which is surge-routing: the moment a
+// region is declared dead its share flows to the survivors, and what
+// the survivors cannot absorb their own admission control sheds.
+
+// greq is one global request's journey.
+type greq struct {
+	id       int
+	arrival  simclock.Time
+	attempts int
+	last     *Region // region of the most recent dispatch (avoided on retry)
+}
+
+// routeRequest picks a region and dispatches, or sheds when the router
+// knows of no live region at all.
+func (p *Plane) routeRequest(r *greq, now simclock.Time) {
+	reg := p.pickRegion(r)
+	if reg == nil {
+		p.res.Shed++
+		p.resolved++
+		if p.tr != nil {
+			p.tr.Instant("region", p.trTrack, "shed", now,
+				telemetry.A("req", strconv.Itoa(r.id)))
+		}
+		p.maybeFinish(now)
+		return
+	}
+	p.dispatch(r, reg, now)
+}
+
+// pickRegion round-robins over regions the router believes alive,
+// skipping the region a retry just failed against when any alternative
+// exists.
+func (p *Plane) pickRegion(r *greq) *Region {
+	var live []*Region
+	for _, reg := range p.regions {
+		if !reg.dead {
+			live = append(live, reg)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	reg := live[p.rrNext%len(live)]
+	p.rrNext++
+	if reg == r.last && len(live) > 1 {
+		reg = live[p.rrNext%len(live)]
+		p.rrNext++
+	}
+	return reg
+}
+
+// dispatch opens a connection to the region's gateway across the trunk
+// and ties the request's fate to it. A dark gateway refuses the SYN
+// (fast failure); a trunk partition eats segments until retransmission
+// exhaustion or the response deadline (slow failure); either way the
+// router retries the request elsewhere under the global deadline.
+func (p *Plane) dispatch(r *greq, reg *Region, now simclock.Time) {
+	r.attempts++
+	r.last = reg
+	reg.st.Routed++
+	sent := now
+	p.router.Dial(reg.gw, gatewayPort, fabric.ConnCallbacks{
+		Established: func(c *fabric.Conn, at simclock.Time) {
+			c.SendRequest(p.cfg.RequestBytes, p.cfg.RespTimeout, at)
+		},
+		Response: func(c *fabric.Conn, at simclock.Time) {
+			reg.st.OK++
+			p.res.OK++
+			p.resolved++
+			p.res.Latencies = append(p.res.Latencies, at.Sub(r.arrival))
+			if p.tr != nil {
+				p.tr.Span("region", p.trTrack, "route", sent, at,
+					telemetry.A("req", strconv.Itoa(r.id)),
+					telemetry.A("region", reg.name))
+			}
+			p.maybeFinish(at)
+		},
+		Failed: func(c *fabric.Conn, err error, at simclock.Time) {
+			reg.st.Failed++
+			if p.tr != nil {
+				p.tr.Span("region", p.trTrack, "route-fail", sent, at,
+					telemetry.A("req", strconv.Itoa(r.id)),
+					telemetry.A("region", reg.name),
+					telemetry.A("err", err.Error()))
+			}
+			p.retry(r, at)
+		},
+	})
+}
+
+// retry re-routes a failed request under the global policy: bounded
+// attempts and the per-request deadline. No backoff — the failed
+// attempt already cost its timeouts, and the surviving regions are a
+// different path, not a congested one.
+func (p *Plane) retry(r *greq, now simclock.Time) {
+	if r.attempts >= p.cfg.MaxAttempts || now.Sub(r.arrival) > p.cfg.Deadline {
+		p.res.Failed++
+		p.resolved++
+		p.maybeFinish(now)
+		return
+	}
+	p.routeRequest(r, now)
+}
+
+// gatewayPump is a region gateway's accept loop: every pending
+// connection is accepted and its request injected into the cell. Only
+// a served request answers the router; shed and failed outcomes stay
+// silent and the router's response deadline resolves them — a gateway
+// has no error channel on the wire, exactly like a real L4 proxy whose
+// upstream died.
+func (p *Plane) gatewayPump(r *Region, now simclock.Time) {
+	for {
+		c := r.lst.Accept(now)
+		if c == nil {
+			return
+		}
+		cc := c
+		rr := r
+		c.WhenRequest(now, func(at simclock.Time) {
+			rr.injectSeq++
+			rr.fl.Inject(rr.injectSeq, at, func(o fleet.Outcome, done simclock.Time) {
+				switch o {
+				case fleet.OutcomeOK:
+					cc.Respond(p.cfg.ResponseBytes, done)
+				case fleet.OutcomeShed:
+					rr.st.Shed++
+				}
+			})
+		})
+	}
+}
+
+// probeTick is the failover detector: one heartbeat to every gateway —
+// dead regions included, which is how a healed partition rejoins —
+// every ProbeInterval.
+func (p *Plane) probeTick(now simclock.Time) {
+	for _, reg := range p.regions {
+		rr := reg
+		p.net.Probe(p.router, reg.gw, p.cfg.ProbeTimeout, func(ok bool, at simclock.Time) {
+			p.probeVerdict(rr, ok, at)
+		})
+	}
+	if !p.finished {
+		p.schedule(now.Add(p.cfg.ProbeInterval), p.probeTick)
+	}
+}
+
+// probeVerdict applies one heartbeat result to the router's view.
+func (p *Plane) probeVerdict(reg *Region, ok bool, now simclock.Time) {
+	if ok {
+		reg.probeOKs++
+		reg.probeFails = 0
+		if reg.dead && !reg.evacuated && reg.probeOKs >= p.cfg.RiseAfter {
+			// The region answered long enough: the partition healed.
+			reg.dead = false
+			reg.deadAt = -1
+			p.res.Rejoins++
+			if p.tr != nil {
+				p.tr.Instant("region", p.trTrack, "rejoin", now,
+					telemetry.A("region", reg.name))
+			}
+		}
+		return
+	}
+	reg.probeFails++
+	reg.probeOKs = 0
+	if !reg.dead && reg.probeFails >= p.cfg.FailAfter {
+		p.declareDead(reg, now)
+	}
+}
+
+// declareDead is the failover: the region leaves the routing set, the
+// flight recorder dumps the moments leading up to the verdict, and the
+// evacuation dwell starts counting.
+func (p *Plane) declareDead(reg *Region, now simclock.Time) {
+	reg.dead = true
+	reg.deadAt = now
+	p.res.Failovers++
+	if reg.dark {
+		p.res.Detect = append(p.res.Detect, now.Sub(reg.darkAt))
+	} else {
+		// The region is alive; the trunk lied. If it keeps answering
+		// probes it rejoins before the dwell expires.
+		p.res.FalseTrips++
+	}
+	if p.tr != nil {
+		p.tr.Instant("region", p.trTrack, "failover", now,
+			telemetry.A("region", reg.name))
+		p.tr.Trip(p.trTrack, "failover:"+reg.name, now)
+	}
+	rr := reg
+	p.schedule(now.Add(p.cfg.EvacuateAfter), func(t simclock.Time) { p.maybeEvacuate(rr, t) })
+}

@@ -21,12 +21,13 @@ go test -race ./...
 
 # The concurrency-sensitive planes (fleet event engine, network fabric,
 # supervisor, snapshot store, memory accountant, guest balloon,
-# telemetry plane) get a second racing pass with fresh test binaries:
-# -count=2 defeats result caching and shakes out run-to-run
-# nondeterminism the bit-for-bit replay guarantees forbid.
-echo "== go test -race -count=2 (fleet, fabric, vmm, snapshot, hostmem, guest, telemetry)"
+# telemetry plane, multi-region control plane) get a second racing pass
+# with fresh test binaries: -count=2 defeats result caching and shakes
+# out run-to-run nondeterminism the bit-for-bit replay guarantees forbid.
+echo "== go test -race -count=2 (fleet, fabric, vmm, snapshot, hostmem, guest, telemetry, region)"
 go test -race -count=2 ./internal/fleet/... ./internal/fabric/... ./internal/vmm/... \
-    ./internal/snapshot/... ./internal/hostmem/... ./internal/guest/... ./internal/telemetry/...
+    ./internal/snapshot/... ./internal/hostmem/... ./internal/guest/... ./internal/telemetry/... \
+    ./internal/region/...
 
 # Every registered fault site must surface in the operator-facing
 # catalog: the count of RegisterSite calls in non-test source must match
@@ -64,12 +65,26 @@ cmp "$tracedir/na.json" "$tracedir/nb.json"
 go run ./scripts/jsoncheck.go "$tracedir/na.json"
 echo "   byte-identical and valid JSON"
 
-# Wall-clock trajectory sample: how fast this machine's event engine
-# chews through the netsplit storm, with the headline availability/p99
-# alongside so a perf fix that changes behavior shows in the same file.
-echo "== bench record (BENCH_netsplit.json)"
+# And for the multi-region control plane: two same-seed regional storms
+# — placement, probe verdicts, failover declarations, evacuation
+# landings — must export byte-identical traces.
+echo "== trace determinism (regionfail, two same-seed runs)"
+go run ./cmd/lupine-bench -run regionfail -trace-out="$tracedir/ra.json" >/dev/null
+go run ./cmd/lupine-bench -run regionfail -trace-out="$tracedir/rb.json" >/dev/null
+cmp "$tracedir/ra.json" "$tracedir/rb.json"
+go run ./scripts/jsoncheck.go "$tracedir/ra.json"
+echo "   byte-identical and valid JSON"
+
+# Wall-clock trajectory samples: how fast this machine's event engine
+# chews through the storms, with the headline availability (and p99 /
+# failover-detection p99) alongside so a perf fix that changes behavior
+# shows in the same file. -bench-out appends, so the files accumulate a
+# trajectory across runs instead of keeping only the latest sample.
+echo "== bench records (BENCH_netsplit.json, BENCH_regionfail.json)"
 go run ./cmd/lupine-bench -bench-out=BENCH_netsplit.json
 go run ./scripts/jsoncheck.go BENCH_netsplit.json
-echo "   wrote BENCH_netsplit.json"
+go run ./cmd/lupine-bench -bench=regionfail -bench-out=BENCH_regionfail.json
+go run ./scripts/jsoncheck.go BENCH_regionfail.json
+echo "   appended to BENCH_netsplit.json and BENCH_regionfail.json"
 
 echo "== ok"
