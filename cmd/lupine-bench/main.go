@@ -4,6 +4,7 @@
 // Usage:
 //
 //	lupine-bench -list
+//	lupine-bench -list-apps
 //	lupine-bench -list-faults
 //	lupine-bench [-run id[,id...]]   (default: all)
 //	lupine-bench -json [-run id[,id...]]
@@ -20,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"lupine/internal/apps"
 	"lupine/internal/experiments"
 	"lupine/internal/faults"
 	"lupine/internal/metrics"
@@ -28,6 +30,7 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
+	listApps := flag.Bool("list-apps", false, "list the application catalog the pipeline can build")
 	listFaults := flag.Bool("list-faults", false, "list registered fault-injection sites")
 	run := flag.String("run", "", "comma-separated experiment ids (default all)")
 	csvDir := flag.String("csv", "", "write each table as <dir>/<id>.csv (for plotting)")
@@ -37,7 +40,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the telemetry metrics registry as JSON")
 	flight := flag.Bool("flight", false, "print flight-recorder crash dumps after the runs")
 	benchOut := flag.String("bench-out", "", "run the -bench storm and append a wall-clock bench record to this JSON file")
-	bench := flag.String("bench", "netsplit", "which storm -bench-out samples: netsplit or regionfail")
+	bench := flag.String("bench", "netsplit", "which storm -bench-out samples: netsplit, regionfail, or catalog")
 	flag.Parse()
 
 	experiments.SetChaosSeed(*seed)
@@ -58,6 +61,20 @@ func main() {
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *listApps {
+		// The same registry the bunny pipeline and the catalog experiment
+		// build from: Table 2's top-20 images, ordered by pulls.
+		fmt.Printf("%-12s %10s %6s %8s\n", "app", "downloads", "port", "options")
+		for _, a := range apps.Registry() {
+			port := "-"
+			if a.Port != 0 {
+				port = fmt.Sprintf("%d", a.Port)
+			}
+			fmt.Printf("%-12s %9.1fB %6s %8d\n", a.Name, a.DownloadsBillions, port, len(a.Options))
 		}
 		return
 	}
@@ -178,6 +195,7 @@ type benchRecord struct {
 	Availability    float64 `json:"availability"`            // headline lupine+mp row
 	P99Micros       float64 `json:"p99_us,omitempty"`        // netsplit: served p99 virtual latency
 	DetectP99Micros float64 `json:"detect_p99_us,omitempty"` // regionfail: failover detection p99
+	HitRate         float64 `json:"hit_rate,omitempty"`      // catalog: redeploy artifact-cache hit rate
 }
 
 // readBenchRecords loads the existing trajectory. A missing file is an
@@ -217,8 +235,10 @@ func writeBenchRecord(path, bench string, seed uint64) error {
 		rec.Events, rec.Availability, rec.P99Micros, err = experiments.NetSplitBench()
 	case "regionfail":
 		rec.Events, rec.Availability, rec.DetectP99Micros, err = experiments.RegionFailBench()
+	case "catalog":
+		rec.Events, rec.Availability, rec.HitRate, err = experiments.CatalogBench()
 	default:
-		return fmt.Errorf("bench-out: unknown storm %q (netsplit or regionfail)", bench)
+		return fmt.Errorf("bench-out: unknown storm %q (valid: netsplit, regionfail, catalog)", bench)
 	}
 	if err != nil {
 		return fmt.Errorf("bench-out: %w", err)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"lupine/internal/apps"
+	"lupine/internal/ext2"
 	"lupine/internal/kerneldb"
 )
 
@@ -82,5 +83,83 @@ func TestKernelCacheVariantsAreDistinct(t *testing.T) {
 	builds, hits := cache.Stats()
 	if builds != 3 || hits != 0 {
 		t.Errorf("stats = %d/%d, want 3 builds, 0 hits", builds, hits)
+	}
+}
+
+// Two specs that differ only in rootfs entries resolve to the same
+// kernel identity: the kernel image is shared, the root filesystems are
+// not. This is the contract internal/bunny's artifact cache builds on.
+func TestKernelCacheSharesAcrossRootfsVariants(t *testing.T) {
+	db := kerneldb.MustLoad()
+	cache := NewKernelCache(db)
+
+	plain := specFor(t, "redis")
+	custom := specFor(t, "redis")
+	custom.Image.Extra = []*ext2.File{
+		ext2.NewFile("redis.conf", 0o644, []byte("maxmemory 128mb\n")),
+	}
+
+	a, err := cache.Build(plain, BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cache.Build(custom, BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Kernel != b.Kernel {
+		t.Error("rootfs-only variants did not share the cached kernel image")
+	}
+	if string(a.RootFS) == string(b.RootFS) {
+		t.Error("rootfs images should differ (one carries redis.conf)")
+	}
+	st := cache.CacheStats()
+	if st.Builds != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 1 build, 1 hit, 1 miss", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", got)
+	}
+}
+
+// Evict drops LRU kernels deterministically and counts them; the next
+// build of an evicted configuration is an accounted rebuild.
+func TestKernelCacheEvict(t *testing.T) {
+	db := kerneldb.MustLoad()
+	cache := NewKernelCache(db)
+
+	for _, name := range []string{"redis", "nginx", "memcached"} {
+		if _, err := cache.Build(specFor(t, name), BuildOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch redis so nginx becomes the LRU entry.
+	if _, err := cache.Build(specFor(t, "redis"), BuildOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if n := cache.Evict(2); n != 1 {
+		t.Fatalf("evicted %d entries, want 1", n)
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("resident %d kernels after evict, want 2", cache.Len())
+	}
+	// redis (touched) and memcached (recent) survived: rebuilding them is
+	// a hit; nginx was dropped and pays a rebuild.
+	before := cache.CacheStats()
+	if _, err := cache.Build(specFor(t, "memcached"), BuildOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.CacheStats(); st.Hits != before.Hits+1 {
+		t.Error("memcached should have survived eviction")
+	}
+	if _, err := cache.Build(specFor(t, "nginx"), BuildOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	st := cache.CacheStats()
+	if st.Builds != before.Builds+1 {
+		t.Error("nginx rebuild after eviction was not accounted as a build")
+	}
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
 	}
 }

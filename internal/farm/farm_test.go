@@ -1,0 +1,172 @@
+package farm
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"lupine/internal/apps"
+	"lupine/internal/bunny"
+	"lupine/internal/faults"
+	"lupine/internal/kerneldb"
+	"lupine/internal/simclock"
+	"lupine/internal/telemetry"
+)
+
+func catalogSpecs() []*bunny.Spec {
+	var specs []*bunny.Spec
+	for _, name := range apps.Names() {
+		specs = append(specs, bunny.New(name))
+	}
+	return specs
+}
+
+// The whole top-20 catalog specializes in one batch: every app builds,
+// kernels are shared across coinciding option sets, and the pool beats
+// serial by roughly its width.
+func TestFarmBuildsCatalog(t *testing.T) {
+	db := kerneldb.MustLoad()
+	f := New(bunny.NewCache(db, 0), 4, nil, nil, nil)
+	res, err := f.Run(catalogSpecs(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Builds) != len(apps.Names()) {
+		t.Fatalf("built %d, want %d", len(res.Builds), len(apps.Names()))
+	}
+	if res.Stats.Hits != 0 || res.Stats.Misses != len(res.Builds) {
+		t.Errorf("artifact stats = %+v; 20 distinct specs must all miss", res.Stats)
+	}
+	if res.Kernels.Hits == 0 {
+		t.Error("no kernel sharing across the catalog")
+	}
+	if res.Makespan >= res.Serial {
+		t.Errorf("makespan %v not under serial %v with 4 workers", res.Makespan, res.Serial)
+	}
+	if sp := res.Speedup(); sp < 2 || sp > 4 {
+		t.Errorf("speedup %.2f out of (2,4] for a 4-worker pool", sp)
+	}
+	// FIFO + greedy: builds are in batch order and each starts when its
+	// worker freed.
+	for i, b := range res.Builds {
+		if b.End != b.Start+simclock.Time(b.Artifact.Cost) {
+			t.Errorf("build %d: schedule does not match cost", i)
+		}
+	}
+}
+
+// Rebuilding the batch is all cache hits, and the makespan collapses to
+// fetch time.
+func TestFarmSecondBatchHits(t *testing.T) {
+	db := kerneldb.MustLoad()
+	cache := bunny.NewCache(db, 0)
+	f := New(cache, 4, nil, nil, nil)
+	first, err := f.Run(catalogSpecs(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := f.Run(catalogSpecs(), simclock.Time(simclock.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.Hits != len(second.Builds) {
+		t.Errorf("second batch stats = %+v, want all hits", second.Stats)
+	}
+	if second.Stats.HitRate() != 1 {
+		t.Errorf("hit rate = %v, want 1", second.Stats.HitRate())
+	}
+	if second.Makespan >= first.Makespan/10 {
+		t.Errorf("warm makespan %v not ≪ cold %v", second.Makespan, first.Makespan)
+	}
+}
+
+func TestFarmOneWorkerIsSerial(t *testing.T) {
+	db := kerneldb.MustLoad()
+	f := New(bunny.NewCache(db, 0), 1, nil, nil, nil)
+	res, err := f.Run(catalogSpecs()[:5], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != res.Serial {
+		t.Errorf("one-worker makespan %v != serial %v", res.Makespan, res.Serial)
+	}
+	if res.Speedup() != 1 {
+		t.Errorf("speedup = %v, want 1", res.Speedup())
+	}
+}
+
+// The worker bound holds: no instant has more than `workers` builds in
+// flight, and two same-seed runs produce identical schedules and spans.
+func TestFarmBoundedAndDeterministic(t *testing.T) {
+	run := func() (*Result, []telemetry.Span) {
+		db := kerneldb.MustLoad()
+		inj := faults.MustNew(faults.Plan{Seed: 42, Rules: []faults.Rule{
+			{Site: bunny.SiteCacheCorrupt, Prob: 0.5},
+		}})
+		tr := telemetry.New()
+		// Two rounds so the corrupt site has resident artifacts to chew on.
+		f := New(bunny.NewCache(db, 0), 3, inj, tr, nil)
+		if _, err := f.Run(catalogSpecs(), 0); err != nil {
+			t.Fatal(err)
+		}
+		res, err := f.Run(catalogSpecs(), simclock.Time(simclock.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, tr.Spans()
+	}
+	// Unikernels carry func values, so compare a schedule projection
+	// rather than DeepEqual-ing artifacts.
+	sched := func(r *Result) []string {
+		var out []string
+		for _, b := range r.Builds {
+			out = append(out, fmt.Sprintf("%s@%d w%d %d-%d %v/%s",
+				b.Artifact.Spec.App, 0, b.Worker, b.Start, b.End, b.Artifact.CacheHit, b.Artifact.Rebuilt))
+		}
+		return out
+	}
+	a, aspans := run()
+	b, bspans := run()
+	if !reflect.DeepEqual(sched(a), sched(b)) || a.Makespan != b.Makespan {
+		t.Error("same-seed farm runs diverged")
+	}
+	if !reflect.DeepEqual(aspans, bspans) {
+		t.Error("same-seed farm spans diverged")
+	}
+	if a.Stats.CorruptRebuilds == 0 {
+		t.Error("p=0.5 corrupt rule never fired over 20 resident fetches")
+	}
+
+	// The worker bound: at any build's start instant, at most `workers`
+	// builds are in flight (a long build may pairwise-overlap many short
+	// ones in sequence — that is fine).
+	for i, x := range a.Builds {
+		running := 0
+		for _, y := range a.Builds {
+			if y.Start <= x.Start && x.Start < y.End {
+				running++
+			}
+		}
+		if running > 3 {
+			t.Fatalf("build %d: %d builds in flight at its start, pool width 3", i, running)
+		}
+	}
+}
+
+func TestFarmMetricsAndErrors(t *testing.T) {
+	db := kerneldb.MustLoad()
+	reg := telemetry.NewRegistry()
+	f := New(bunny.NewCache(db, 0), 2, nil, nil, reg)
+	if _, err := f.Run([]*bunny.Spec{bunny.New("redis"), bunny.New("redis")}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter("farm.builds").Value(); n != 2 {
+		t.Errorf("farm.builds = %d, want 2", n)
+	}
+	if n := reg.Counter("farm.cache_hits").Value(); n != 1 {
+		t.Errorf("farm.cache_hits = %d, want 1", n)
+	}
+	if _, err := f.Run([]*bunny.Spec{bunny.New("doom")}, 0); err == nil {
+		t.Error("unknown app did not fail the batch")
+	}
+}

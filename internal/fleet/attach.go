@@ -109,6 +109,14 @@ func (f *Fleet) Admit(b *Backend, now simclock.Time) {
 // replacements; in-flight requests resolve through their own timeouts.
 func (f *Fleet) Retire(b *Backend, now simclock.Time) { f.retire(b, now) }
 
+// Drain takes b out of the dispatch rotation, waits for its in-flight
+// requests (bounded by timeout), retires it, then fires done (may be
+// nil). Attached-mode owners drive rolling upgrades with it — the same
+// drain/retire discipline a standalone fleet's upgrade plan uses.
+func (f *Fleet) Drain(b *Backend, timeout simclock.Duration, now simclock.Time, done func(now simclock.Time)) {
+	f.drain(b, timeout, now, done)
+}
+
 // Finish closes out an attached fleet's accounting. Wire counters stay
 // with the shared fabric's Stats — they are not per-cell.
 func (f *Fleet) Finish(now simclock.Time) Result {

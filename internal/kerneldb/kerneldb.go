@@ -97,6 +97,29 @@ type Info struct {
 type DB struct {
 	Kconfig *kconfig.Database
 	info    map[string]Info
+
+	versionOnce sync.Once
+	version     string
+}
+
+// Version returns a short digest identifying this kernel tree: every
+// option name with its class and cost annotations, folded in declaration
+// order. It stands in for the kernel source version, so build artifacts
+// content-addressed by (spec digest, kerneldb version) are invalidated
+// when the tree — not just the spec — changes.
+func (db *DB) Version() string {
+	db.versionOnce.Do(func() {
+		h := fnv.New64a()
+		for _, o := range db.Kconfig.Options() {
+			info := db.info[o.Name]
+			fmt.Fprintf(h, "%s|%d|%d|%d|", o.Name, info.Class, info.Size, int64(info.Boot))
+			for _, sc := range info.Syscalls {
+				fmt.Fprintf(h, "%s,", sc)
+			}
+		}
+		db.version = fmt.Sprintf("linux4.0-%016x", h.Sum64())
+	})
+	return db.version
 }
 
 // Info returns the annotation for an option; unknown names yield a zero

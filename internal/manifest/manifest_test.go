@@ -88,3 +88,25 @@ func TestAddOptionsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Marshal must be byte-deterministic regardless of Env insertion order:
+// the bunny pipeline hashes manifests into content addresses, so two
+// identical manifests built in different orders must serialize alike.
+func TestMarshalEnvOrderDeterminism(t *testing.T) {
+	build := func(keys []string) []byte {
+		m := New("node", []string{"/bin/node"}, "EPOLL", "FUTEX")
+		for _, k := range keys {
+			m.Env[k] = "v-" + k
+		}
+		data, err := m.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := build([]string{"NODE_ENV", "PATH", "HOME", "LANG"})
+	b := build([]string{"LANG", "HOME", "PATH", "NODE_ENV"})
+	if string(a) != string(b) {
+		t.Errorf("Env insertion order changed the serialization:\n%s\n---\n%s", a, b)
+	}
+}

@@ -67,12 +67,14 @@ type placement struct {
 	b       *fleet.Backend
 	host    *Host
 	reg     *Region
+	ident   int // index into the plane's identity list
 	kernel  string
 	monitor string
 	tl      fleet.Timeline // service record replacements/evacuees inherit
 	bytes   int64
 	diedAt  simclock.Time // -1 = alive; the live gate reads this
 	moved   bool          // replaced by an evacuation or crash restore
+	retired bool          // drained out by a rolling upgrade
 }
 
 // Region is one failure domain: hosts, a fleet cell behind a gateway on
@@ -130,6 +132,9 @@ type Plane struct {
 	regions []*Region
 	repl    *snapshot.Replicator
 
+	idents  []Identity
+	idstats []IdentityStats
+
 	arrivalRng *faults.Stream
 	rrNext     int
 
@@ -155,6 +160,12 @@ func New(cfg Config, inj *faults.Injector) *Plane {
 		clk:        simclock.New(),
 		inj:        inj,
 		arrivalRng: faults.NewStream(cfg.Seed),
+		idents:     cfg.identities(),
+	}
+	p.res.UpgradeDone = -1
+	p.idstats = make([]IdentityStats, len(p.idents))
+	for i, id := range p.idents {
+		p.idstats[i] = IdentityStats{Name: id.Name, Kernel: id.Kernel}
 	}
 	net, err := fabric.New(fleet.FabricParams(cfg.Cell), p, inj)
 	if err != nil {
@@ -246,43 +257,41 @@ func (p *Plane) addRegion(i int, rs RegionSpec) {
 	cell.Seed = p.cfg.Seed ^ (0xC311 + uint64(i)*7919)
 	r.fl = fleet.NewAttached(cell, p, p.net, rs.Name, p.inj)
 
-	kernel, monitor := p.imageKey()
+	// Heterogeneous pools: slot v runs identity v mod len(identities),
+	// so every region carries every kernel and the bin-packer mixes
+	// their differently-sized VMs on the same hosts.
 	for v := 0; v < p.cfg.PoolPerRegion; v++ {
+		ident := v % len(p.idents)
 		name := fmt.Sprintf("%s/vm%d", rs.Name, v)
 		tl := fleet.AlwaysUp()
 		if p.cfg.Timeline != nil {
 			tl = p.cfg.Timeline(i, v)
 		}
-		if pl := p.place(r, name, kernel, monitor, tl, 0); pl != nil {
+		if pl := p.place(r, name, ident, tl, 0); pl != nil {
 			r.st.Placed++
+			p.idstats[ident].Placed++
 		}
 	}
 	p.regions = append(p.regions, r)
 }
 
-// imageKey is the kernel identity the warm pool is keyed by.
-func (p *Plane) imageKey() (kernel, monitor string) {
-	if p.cfg.Snapshot != nil {
-		return p.cfg.Snapshot.Kernel, p.cfg.Snapshot.Monitor
-	}
-	return "kernel", "monitor"
-}
-
-// place bin-packs one VM onto the region host with the most commit
-// headroom (first host wins ties), admits the backend into the cell,
-// and wires the placement's live gate and release hook.
-func (p *Plane) place(r *Region, name, kernel, monitor string, tl fleet.Timeline, now simclock.Time) *placement {
-	h := bestHost(r.hosts, p.cfg.VMBytes)
+// place bin-packs one VM of the given identity onto the region host
+// with the most commit headroom (first host wins ties), admits the
+// backend into the cell, and wires the placement's live gate and
+// release hook.
+func (p *Plane) place(r *Region, name string, ident int, tl fleet.Timeline, now simclock.Time) *placement {
+	id := p.idents[ident]
+	h := bestHost(r.hosts, id.VMBytes)
 	if h == nil {
 		p.res.PlacementDenied++
 		return nil
 	}
-	h.acct.Commit(p.cfg.VMBytes)
+	h.acct.Commit(id.VMBytes)
 	b := fleet.NewBackend(name, tl)
 	pl := &placement{
-		b: b, host: h, reg: r,
-		kernel: kernel, monitor: monitor, tl: tl,
-		bytes: p.cfg.VMBytes, diedAt: -1,
+		b: b, host: h, reg: r, ident: ident,
+		kernel: id.Kernel, monitor: id.Monitor, tl: tl,
+		bytes: id.VMBytes, diedAt: -1,
 	}
 	b.SetLiveGate(func(t simclock.Time) bool { return pl.diedAt < 0 || t < pl.diedAt })
 	b.SetOnRelease(func(simclock.Time) { pl.host.acct.Uncommit(pl.bytes) })
@@ -329,24 +338,31 @@ func (p *Plane) bestHostExcept(excl *Region, n int64) (*Region, *Host) {
 	return bestR, bestH
 }
 
-// seedStores fills the warm pools: the home region (index 0) holds the
-// capture immediately; peers receive a replica after the priced
-// transfer completes. No snapshot, or replication off, means those
-// paths discover an empty store and cold-boot — the comparator story.
+// seedStores fills the warm pools, one lineage per identity: the home
+// region (index 0) holds each identity's capture immediately; peers
+// receive replicas after the priced transfers complete. No snapshot, or
+// replication off, means those paths discover an empty store and
+// cold-boot — the comparator story.
 func (p *Plane) seedStores() {
-	snap := p.cfg.Snapshot
-	if snap == nil {
-		return
-	}
-	p.regions[0].store.Put(snap)
-	if !p.cfg.Replicate {
-		return
-	}
-	p.repl = snapshot.NewReplicator(p.cfg.ReplBandwidth)
-	for _, r := range p.regions[1:] {
-		d := p.repl.Replicate(snap)
-		rr := r
-		p.schedule(simclock.Time(0).Add(d), func(simclock.Time) { rr.store.Put(snap) })
+	seen := make(map[*snapshot.Snapshot]bool)
+	for _, id := range p.idents {
+		snap := id.Snapshot
+		if snap == nil || seen[snap] {
+			continue
+		}
+		seen[snap] = true
+		p.regions[0].store.Put(snap)
+		if !p.cfg.Replicate {
+			continue
+		}
+		if p.repl == nil {
+			p.repl = snapshot.NewReplicator(p.cfg.ReplBandwidth)
+		}
+		for _, r := range p.regions[1:] {
+			d := p.repl.Replicate(snap)
+			rr := r
+			p.schedule(simclock.Time(0).Add(d), func(simclock.Time) { rr.store.Put(snap) })
+		}
 	}
 }
 
@@ -360,6 +376,10 @@ func (p *Plane) Run() Result {
 		at = at.Add(p.cfg.Interarrival)
 	}
 	p.res.Total = p.cfg.Requests
+	for i := range p.cfg.Upgrades {
+		spec := p.cfg.Upgrades[i]
+		p.schedule(spec.Start, func(now simclock.Time) { p.startRollout(spec, now) })
+	}
 	p.schedule(simclock.Time(p.cfg.ProbeInterval), p.probeTick)
 	p.schedule(simclock.Time(p.cfg.ControlEvery), p.controlTick)
 	for _, r := range p.regions {
@@ -398,11 +418,12 @@ func (p *Plane) finishStats() {
 	}
 	for _, r := range p.regions {
 		for _, pl := range r.placements {
-			if pl.diedAt >= 0 && !pl.moved {
+			if pl.diedAt >= 0 && !pl.moved && !pl.retired {
 				p.res.Unrecovered++
 			}
 		}
 	}
+	p.res.PerIdentity = append(p.res.PerIdentity, p.idstats...)
 }
 
 // maybeFinish stops the control loops once all requests resolved and no
@@ -447,7 +468,7 @@ func (p *Plane) blackout(r *Region, now simclock.Time) {
 	r.dark = true
 	r.darkAt = now
 	for _, pl := range r.placements {
-		if pl.diedAt < 0 {
+		if pl.diedAt < 0 && !pl.retired {
 			pl.diedAt = now
 		}
 	}
@@ -466,7 +487,7 @@ func (p *Plane) crashHost(h *Host, now simclock.Time) {
 		p.tr.Instant("region", p.trTrack, "host-crash", now, telemetry.A("host", h.name))
 	}
 	for _, pl := range h.region.placements {
-		if pl.host != h || pl.diedAt >= 0 {
+		if pl.host != h || pl.diedAt >= 0 || pl.retired {
 			continue
 		}
 		pl.diedAt = now
@@ -486,7 +507,7 @@ func (p *Plane) replaceLocal(victim *placement, now simclock.Time) {
 		return // no capacity: finishStats counts the victim unrecovered
 	}
 	h.acct.Commit(victim.bytes)
-	ready, _, _ := p.provision(r, victim.kernel, victim.monitor, now)
+	ready, _, _ := p.provision(r, victim.ident, now)
 	p.provisioning++
 	name := victim.b.Name + "'"
 	p.schedule(now.Add(ready), func(t simclock.Time) {
@@ -500,7 +521,7 @@ func (p *Plane) replaceLocal(victim *placement, now simclock.Time) {
 		}
 		nb := fleet.NewBackend(name, victim.tl)
 		pl := &placement{
-			b: nb, host: h, reg: r,
+			b: nb, host: h, reg: r, ident: victim.ident,
 			kernel: victim.kernel, monitor: victim.monitor, tl: victim.tl,
 			bytes: victim.bytes, diedAt: -1,
 		}
@@ -517,15 +538,26 @@ func (p *Plane) replaceLocal(victim *placement, now simclock.Time) {
 	})
 }
 
-// provision prices bringing one VM up in region r: a warm restore from
-// the local store when a replica is there (restore faults fall back to
-// a cold boot, accounted), a cold boot otherwise.
-func (p *Plane) provision(r *Region, kernel, monitor string, now simclock.Time) (ready simclock.Duration, restored, fallback bool) {
-	snap, ok := r.store.Get(kernel, monitor)
+// provision prices bringing one VM of the given identity up in region
+// r: a warm restore from the local store's lineage for that identity
+// when a replica is there (restore faults fall back to a cold boot,
+// accounted), a cold boot otherwise. The per-identity ledger is kept
+// here so every provisioning path — crash replacement, evacuation,
+// upgrade surge and replacement — counts the same way.
+func (p *Plane) provision(r *Region, ident int, now simclock.Time) (ready simclock.Duration, restored, fallback bool) {
+	id := p.idents[ident]
+	st := &p.idstats[ident]
+	snap, ok := r.store.Get(id.Kernel, id.Monitor)
 	if !ok {
-		return p.cfg.ColdBoot, false, false
+		st.Cold++
+		return id.ColdBoot, false, false
 	}
-	rr := snap.Restore(p.cfg.Monitor, p.inj, now, p.cfg.ColdBoot)
+	rr := snap.Restore(p.cfg.Monitor, p.inj, now, id.ColdBoot)
+	if rr.Restored {
+		st.Restores++
+	} else {
+		st.Fallbacks++
+	}
 	return rr.Ready, rr.Restored, !rr.Restored
 }
 
@@ -546,7 +578,7 @@ func (p *Plane) maybeEvacuate(r *Region, now simclock.Time) {
 		p.tr.Instant("region", p.trTrack, "evacuate", now, telemetry.A("region", r.name))
 	}
 	for _, pl := range r.placements {
-		if pl.moved {
+		if pl.moved || pl.retired {
 			continue
 		}
 		p.evacuateOne(pl, now)
@@ -563,7 +595,7 @@ func (p *Plane) evacuateOne(victim *placement, now simclock.Time) {
 		return // nowhere to go: finishStats counts the victim unrecovered
 	}
 	h.acct.Commit(victim.bytes)
-	ready, restored, fallback := p.provision(dest, victim.kernel, victim.monitor, now)
+	ready, restored, fallback := p.provision(dest, victim.ident, now)
 	p.res.EvacReady = append(p.res.EvacReady, ready)
 	switch {
 	case restored:
@@ -573,13 +605,14 @@ func (p *Plane) evacuateOne(victim *placement, now simclock.Time) {
 	default:
 		p.res.EvacCold++
 	}
+	p.idstats[victim.ident].Evacuated++
 	p.provisioning++
 	name := victim.b.Name + "@" + dest.name
 	p.schedule(now.Add(ready), func(t simclock.Time) {
 		p.provisioning--
 		nb := fleet.NewBackend(name, victim.tl)
 		pl := &placement{
-			b: nb, host: h, reg: dest,
+			b: nb, host: h, reg: dest, ident: victim.ident,
 			kernel: victim.kernel, monitor: victim.monitor, tl: victim.tl,
 			bytes: victim.bytes, diedAt: -1,
 		}

@@ -86,11 +86,64 @@ type RegionSpec struct {
 	Host  HostSpec
 }
 
+// Identity is one kernel identity in a heterogeneous deployment: a
+// distinct specialized kernel (its own snapshot lineage, VM size and
+// cold-boot price) sharing hosts and regions with the others. The paper
+// builds one kernel per application; a real deployment runs many such
+// kernels side by side, and the control plane must keep each lineage's
+// warm pool, crash recovery and rolling upgrades separate while
+// bin-packing all of them against the same host memory.
+type Identity struct {
+	Name     string
+	Kernel   string             // kernel identity (snapshot.KernelKey)
+	Monitor  string             // monitor half of the store key
+	Snapshot *snapshot.Snapshot // warm capture; nil means this identity always cold-boots
+	VMBytes  int64              // per-VM commit (0 = Config.VMBytes)
+	ColdBoot simclock.Duration  // 0 = Config.ColdBoot
+}
+
+// UpgradeSpec schedules a rolling kernel upgrade for one identity: in
+// each region in turn, surge capacity boots first, then every backend
+// of that identity drains, rebuilds and re-admits — the fleet layer's
+// upgrade discipline, replayed per identity across the whole plane.
+type UpgradeSpec struct {
+	Identity     string        // Identity.Name to upgrade
+	Start        simclock.Time // when the rollout begins
+	DrainTimeout simclock.Duration
+
+	// Rebuild prices rebuilding the identity's kernel for the k-th
+	// replacement plane-wide (0-based). Wired to the build cache, the
+	// first rebuild pays a real build and the rest hit the artifact
+	// cache. Nil means free.
+	Rebuild func(k int) simclock.Duration
+}
+
+// IdentityStats is one kernel identity's view of a heterogeneous run.
+type IdentityStats struct {
+	Name      string
+	Kernel    string
+	Placed    int // initial placements across all regions
+	Restores  int // warm restores (crash replacements, evacuations, upgrades)
+	Cold      int // cold boots where no replica was resident
+	Fallbacks int // restore faults that fell back to cold boots
+	Evacuated int // backends of this identity evacuated cross-region
+	Upgraded  int // backends replaced by this identity's rolling upgrade
+}
+
 // Config tunes the control plane. All durations are virtual.
 type Config struct {
 	Regions       []RegionSpec
 	PoolPerRegion int   // backends placed per region at build time
 	VMBytes       int64 // committed bytes each placement promises its host
+
+	// Identities makes the deployment heterogeneous: pool slot v in
+	// every region runs Identities[v % len(Identities)]. Empty means the
+	// classic homogeneous plane described by the Snapshot / Monitor /
+	// VMBytes / ColdBoot singletons below.
+	Identities []Identity
+
+	// Upgrades schedules per-identity rolling kernel upgrades.
+	Upgrades []UpgradeSpec
 
 	// Cell tunes each region's fleet (attached mode: the Requests,
 	// TrafficStart and upgrade knobs are ignored; probes, breakers,
@@ -152,6 +205,41 @@ type Config struct {
 	ColdBoot      simclock.Duration
 
 	Seed uint64
+}
+
+// identities resolves the deployment's identity list: the configured
+// heterogeneous set, or one synthetic identity for the classic
+// homogeneous plane.
+func (c *Config) identities() []Identity {
+	if len(c.Identities) > 0 {
+		ids := make([]Identity, len(c.Identities))
+		for i, id := range c.Identities {
+			if id.VMBytes == 0 {
+				id.VMBytes = c.VMBytes
+			}
+			if id.ColdBoot == 0 {
+				id.ColdBoot = c.ColdBoot
+			}
+			if id.Snapshot != nil {
+				if id.Kernel == "" {
+					id.Kernel = id.Snapshot.Kernel
+				}
+				if id.Monitor == "" {
+					id.Monitor = id.Snapshot.Monitor
+				}
+			}
+			ids[i] = id
+		}
+		return ids
+	}
+	kernel, monitor := "kernel", "monitor"
+	if c.Snapshot != nil {
+		kernel, monitor = c.Snapshot.Kernel, c.Snapshot.Monitor
+	}
+	return []Identity{{
+		Name: "default", Kernel: kernel, Monitor: monitor,
+		Snapshot: c.Snapshot, VMBytes: c.VMBytes, ColdBoot: c.ColdBoot,
+	}}
 }
 
 // DefaultConfig is a three-region plane, comfortably provisioned so
@@ -251,10 +339,14 @@ type Result struct {
 
 	Unrecovered int // killed backends never replaced anywhere
 
+	Upgraded    int           // backends replaced by rolling upgrades
+	UpgradeDone simclock.Time // last rollout completion (-1 = none ran)
+
 	Repl snapshot.ReplStats
 
-	PerRegion []RegionStats
-	Cells     []fleet.Result
+	PerRegion   []RegionStats
+	PerIdentity []IdentityStats
+	Cells       []fleet.Result
 }
 
 // Availability is the fraction of offered requests that were served.
