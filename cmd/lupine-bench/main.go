@@ -40,7 +40,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the telemetry metrics registry as JSON")
 	flight := flag.Bool("flight", false, "print flight-recorder crash dumps after the runs")
 	benchOut := flag.String("bench-out", "", "run the -bench storm and append a wall-clock bench record to this JSON file")
-	bench := flag.String("bench", "netsplit", "which storm -bench-out samples: netsplit, regionfail, or catalog")
+	bench := flag.String("bench", "netsplit", "which storm -bench-out samples: netsplit, regionfail, catalog, or breach")
 	flag.Parse()
 
 	experiments.SetChaosSeed(*seed)
@@ -196,6 +196,7 @@ type benchRecord struct {
 	P99Micros       float64 `json:"p99_us,omitempty"`        // netsplit: served p99 virtual latency
 	DetectP99Micros float64 `json:"detect_p99_us,omitempty"` // regionfail: failover detection p99
 	HitRate         float64 `json:"hit_rate,omitempty"`      // catalog: redeploy artifact-cache hit rate
+	Containment     float64 `json:"containment,omitempty"`   // breach: hardened-row contained/compromised
 }
 
 // readBenchRecords loads the existing trajectory. A missing file is an
@@ -237,8 +238,10 @@ func writeBenchRecord(path, bench string, seed uint64) error {
 		rec.Events, rec.Availability, rec.DetectP99Micros, err = experiments.RegionFailBench()
 	case "catalog":
 		rec.Events, rec.Availability, rec.HitRate, err = experiments.CatalogBench()
+	case "breach":
+		rec.Events, rec.Availability, rec.Containment, err = experiments.BreachBench()
 	default:
-		return fmt.Errorf("bench-out: unknown storm %q (valid: netsplit, regionfail, catalog)", bench)
+		return fmt.Errorf("bench-out: unknown storm %q (valid: netsplit, regionfail, catalog, breach)", bench)
 	}
 	if err != nil {
 		return fmt.Errorf("bench-out: %w", err)

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"lupine/internal/attack"
 )
 
 // Profiles select the Lupine variant of §4.
@@ -63,6 +65,12 @@ type Spec struct {
 	Options []string          `json:"options,omitempty"` // kernel options atop the app manifest
 	Env     map[string]string `json:"env,omitempty"`     // extra environment entries
 	RootFS  []Entry           `json:"rootfs,omitempty"`  // extra rootfs files
+
+	// Hardening selects a mitigation level — off (default), aslr or
+	// full — mapping to priced kconfig options (attack.HardeningOptions),
+	// so a hardened build pays its boot-time and image-size costs through
+	// the same pipeline as every other option.
+	Hardening string `json:"hardening,omitempty"`
 }
 
 // New returns a normalized spec for app with the given extra options.
@@ -82,6 +90,9 @@ func (s *Spec) Normalize() {
 	}
 	if s.Profile == "" {
 		s.Profile = ProfileNoKML
+	}
+	if s.Hardening == "" {
+		s.Hardening = attack.HardeningOff
 	}
 	seen := make(map[string]bool, len(s.Options))
 	opts := s.Options[:0]
@@ -111,6 +122,9 @@ func (s *Spec) Validate() error {
 	if !validProfiles[s.Profile] {
 		return fmt.Errorf("bunny: %s: unknown profile %q (nokml, kml or tiny)", s.App, s.Profile)
 	}
+	if _, err := attack.HardeningOptions(s.Hardening); err != nil {
+		return fmt.Errorf("bunny: %s: %w", s.App, err)
+	}
 	for i := 1; i < len(s.Options); i++ {
 		if s.Options[i] == s.Options[i-1] {
 			return fmt.Errorf("bunny: %s: duplicate option %s", s.App, s.Options[i])
@@ -135,7 +149,7 @@ func (s *Spec) Validate() error {
 // depend on map iteration.
 func (s *Spec) canonical() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "app=%s|monitor=%s|profile=%s|", s.App, s.Monitor, s.Profile)
+	fmt.Fprintf(&sb, "app=%s|monitor=%s|profile=%s|hardening=%s|", s.App, s.Monitor, s.Profile, s.Hardening)
 	sb.WriteString("options=")
 	sb.WriteString(strings.Join(s.Options, ","))
 	sb.WriteString("|env=")
@@ -199,6 +213,7 @@ func ParseJSON(data []byte) (*Spec, error) {
 //	app: redis
 //	monitor: firecracker
 //	profile: nokml
+//	hardening: aslr
 //	options: MULTIPROCESS SYSVIPC
 //	env: HOME=/ PATH=/bin
 //	rootfs: /etc/redis.conf=maxmemory 128mb
@@ -224,6 +239,8 @@ func ParseText(data []byte) (*Spec, error) {
 			s.Monitor = val
 		case "profile":
 			s.Profile = val
+		case "hardening":
+			s.Hardening = val
 		case "options":
 			s.Options = append(s.Options, strings.Fields(val)...)
 		case "env":

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"lupine/internal/apps"
+	"lupine/internal/attack"
 	"lupine/internal/core"
 	"lupine/internal/ext2"
 	"lupine/internal/faults"
@@ -275,10 +276,15 @@ func (c *Cache) lower(s *Spec) (core.Spec, core.BuildOpts, error) {
 	if len(s.RootFS) > 0 {
 		img.Extra = append(img.Extra, overlayTree(s.RootFS))
 	}
+	hardening, err := attack.HardeningOptions(s.Hardening)
+	if err != nil {
+		return core.Spec{}, core.BuildOpts{}, fmt.Errorf("bunny: %s: %w", s.App, err)
+	}
 	opts := core.BuildOpts{
-		Name: "bunny-" + s.App,
-		KML:  s.Profile == ProfileKML,
-		Tiny: s.Profile == ProfileTiny,
+		Name:         "bunny-" + s.App,
+		KML:          s.Profile == ProfileKML,
+		Tiny:         s.Profile == ProfileTiny,
+		ExtraOptions: hardening,
 	}
 	return core.Spec{
 		Manifest: m,

@@ -279,8 +279,23 @@ type Node struct {
 	// SYNs nor ACKs data. Nil means always up.
 	alive func(now simclock.Time) bool
 
+	// egressCut blackholes every segment this NIC sends — switch-port
+	// isolation, the quarantine a containment plane applies so a
+	// compromised guest's lateral probes die at the first hop. Ingress
+	// still flows: the victim hears the world but cannot answer it.
+	egressCut bool
+
 	listeners map[int]*Listener
 }
+
+// SetEgressCut isolates (or restores) the node's switch port: while
+// cut, everything it sends drops at the first hop with reason
+// "egress-cut". Deliberate containment, not a fault site — the
+// injector's streams never see it.
+func (nd *Node) SetEgressCut(cut bool) { nd.egressCut = cut }
+
+// EgressCut reports whether the node's switch port is isolated.
+func (nd *Node) EgressCut() bool { return nd.egressCut }
 
 // AddNode attaches a NIC, allocating the next address in the block.
 // A zero link spec inherits the network default. Node ids count from 1
@@ -459,6 +474,13 @@ func pairKey(a, b int) [2]int {
 // the real thing.
 func (n *Network) transmit(s *segment, now simclock.Time) {
 	n.stats.Segments++
+	// Deliberate isolation first: a quarantined port's segments never
+	// reach the fault gauntlet, so arming wire sites does not perturb
+	// the injector streams a contained backend would have drawn.
+	if s.from.egressCut {
+		n.drop(s, "egress-cut", now)
+		return
+	}
 	// Fault gauntlet, in a fixed order so runs replay. A segment dies on
 	// the first match; later sites never observe it.
 	if until, down := n.linkDownUntil[pairKey(s.from.id, s.to.id)]; down && now < until {

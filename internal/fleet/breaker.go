@@ -148,3 +148,15 @@ func (b *Breaker) ProbeFailure(now simclock.Time) {
 		b.transition(now, BreakerOpen, "probe failed")
 	}
 }
+
+// ForceOpen trips the breaker open from any state as a deliberate
+// control-plane action — the containment ladder's quarantine, not a
+// data-plane verdict. The cool-down still applies, but a quarantined
+// backend is also draining, so it never re-enters rotation through a
+// half-open trial: Allow is only consulted for dispatchable backends.
+func (b *Breaker) ForceOpen(now simclock.Time, cause string) {
+	b.reopenAt = now.Add(b.cfg.OpenFor)
+	if b.state != BreakerOpen {
+		b.transition(now, BreakerOpen, cause)
+	}
+}

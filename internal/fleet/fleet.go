@@ -194,6 +194,7 @@ type Result struct {
 	BudgetDenied int // retries refused by the fleet-wide budget
 	BreakerOpens int // open transitions across all breakers
 	FalseTrips   int // breaker opens while the backend was actually alive (the wire lied)
+	Quarantines  int // deliberate containment opens (Quarantine calls that landed; never FalseTrips)
 	Retransmits  int // fabric segments re-sent after a presumed loss
 	Events       int // virtual-time events executed (the heap's pop count)
 	Restarts     int // supervisor restarts summed over initial backends

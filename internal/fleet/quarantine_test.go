@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"testing"
+
+	"lupine/internal/simclock"
+)
+
+// TestQuarantineAccounting: a deliberate quarantine opens the breaker
+// (BreakerOpens) and lands in the distinct Quarantines counter — never
+// in FalseTrips, which is reserved for the breaker misjudging a live
+// backend. Wire failures arriving after the quarantine (the egress cut
+// killing in-flight responses) must not turn into false trips either.
+func TestQuarantineAccounting(t *testing.T) {
+	f := drainFixture("a", "b", "c")
+	b := f.backends[0]
+	now := simclock.Time(1 * ms)
+
+	if !f.Quarantine(b, 1, now) {
+		t.Fatal("quarantine refused with the floor comfortably held")
+	}
+	if f.res.Quarantines != 1 || f.res.FalseTrips != 0 || f.res.BreakerOpens != 1 {
+		t.Fatalf("quarantines=%d falseTrips=%d opens=%d, want 1/0/1",
+			f.res.Quarantines, f.res.FalseTrips, f.res.BreakerOpens)
+	}
+	if b.breaker.State() != BreakerOpen {
+		t.Fatalf("breaker state %v, want open", b.breaker.State())
+	}
+	if !b.draining || b.dispatchable(now) {
+		t.Fatal("quarantined backend must be draining and undispatchable")
+	}
+
+	// In-flight responses dying on the cut egress report as breaker
+	// failures; with the breaker already deliberately open they must not
+	// become false trips.
+	f.breakerFailure(b, now.Add(100*simclock.Microsecond))
+	if f.res.FalseTrips != 0 {
+		t.Fatalf("post-quarantine wire failure counted as a false trip")
+	}
+
+	// Quarantining an already-draining backend is a no-op that reports
+	// success without recounting.
+	opens := f.res.BreakerOpens
+	if !f.Quarantine(b, 1, now.Add(ms)) {
+		t.Fatal("re-quarantine must report already-out-of-rotation as success")
+	}
+	if f.res.Quarantines != 1 || f.res.BreakerOpens != opens {
+		t.Fatalf("re-quarantine recounted: quarantines=%d opens=%d",
+			f.res.Quarantines, f.res.BreakerOpens)
+	}
+}
+
+// TestQuarantineHoldsFloor: a quarantine that would drop the active
+// count below the floor refuses, so the caller repaves first; floor 0
+// (the post-repave retry) always lands.
+func TestQuarantineHoldsFloor(t *testing.T) {
+	f := drainFixture("a", "b")
+	now := simclock.Time(1 * ms)
+
+	if !f.Quarantine(f.backends[0], 1, now) {
+		t.Fatal("first quarantine must land: 2 active, floor 1")
+	}
+	if f.Quarantine(f.backends[1], 1, now) {
+		t.Fatal("second quarantine must defer: it would empty the cell")
+	}
+	if f.res.Quarantines != 1 {
+		t.Fatalf("deferred quarantine counted: %d", f.res.Quarantines)
+	}
+	if !f.Quarantine(f.backends[1], 0, now.Add(ms)) {
+		t.Fatal("floor 0 must always land")
+	}
+	if f.res.Quarantines != 2 {
+		t.Fatalf("quarantines=%d, want 2", f.res.Quarantines)
+	}
+	if f.res.MinActive != 0 {
+		t.Fatalf("minActive=%d after quarantining everything, want 0", f.res.MinActive)
+	}
+}

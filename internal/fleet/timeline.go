@@ -113,6 +113,11 @@ func NewBackend(name string, tl Timeline) *Backend {
 // and tables can read the transition timeline.
 func (b *Backend) Breaker() *Breaker { return b.breaker }
 
+// Node exposes the backend's NIC on the fabric (nil before admission).
+// Containment planes register it as an attack target and cut its egress
+// on quarantine.
+func (b *Backend) Node() *fabric.Node { return b.node }
+
 // SetOnRelease registers fn to run once when the backend leaves the pool
 // for good, however it leaves (drain, OOM kill, upgrade). Pools built
 // over snapshot clones release the clone's private pages here.

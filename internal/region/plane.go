@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"lupine/internal/attack"
 	"lupine/internal/fabric"
 	"lupine/internal/faults"
 	"lupine/internal/fleet"
@@ -73,8 +74,16 @@ type placement struct {
 	tl      fleet.Timeline // service record replacements/evacuees inherit
 	bytes   int64
 	diedAt  simclock.Time // -1 = alive; the live gate reads this
-	moved   bool          // replaced by an evacuation or crash restore
+	moved   bool          // replaced by an evacuation, crash restore or repave
 	retired bool          // drained out by a rolling upgrade
+
+	// Breach-plane state (zero unless Config.Breach armed the attack).
+	tgt           *attack.Target // the placement's registration with the campaign
+	compromised   bool
+	compromisedAt simclock.Time // valid when compromised
+	quarantined   bool
+	quarantinedAt simclock.Time // valid when quarantined
+	contained     bool          // the containment ladder has claimed this placement
 }
 
 // Region is one failure domain: hosts, a fleet cell behind a gateway on
@@ -138,8 +147,12 @@ type Plane struct {
 	arrivalRng *faults.Stream
 	rrNext     int
 
+	// Breach plane (nil unless Config.Breach is set).
+	atk   *attack.Plane
+	atkPl map[*attack.Target]*placement
+
 	resolved     int
-	provisioning int // evacuation + crash-replacement restores in flight
+	provisioning int // evacuation + crash-replacement + repave restores in flight
 	finished     bool
 
 	tr      *telemetry.Tracer
@@ -183,6 +196,7 @@ func New(cfg Config, inj *faults.Injector) *Plane {
 		p.addRegion(i, rs)
 	}
 	p.seedStores()
+	p.armBreach()
 	return p
 }
 
@@ -214,6 +228,9 @@ func (p *Plane) Observe(tr *telemetry.Tracer, mreg *telemetry.Registry, track st
 	}
 	p.tr = tr
 	p.trTrack = track
+	if p.atk != nil {
+		p.atk.Observe(tr, track)
+	}
 	for _, r := range p.regions {
 		r.fl.Observe(tr, mreg, track+"/"+r.name)
 	}
@@ -297,6 +314,7 @@ func (p *Plane) place(r *Region, name string, ident int, tl fleet.Timeline, now 
 	b.SetOnRelease(func(simclock.Time) { pl.host.acct.Uncommit(pl.bytes) })
 	r.fl.Admit(b, now)
 	r.placements = append(r.placements, pl)
+	p.armTarget(pl)
 	p.res.Placed++
 	return pl
 }
@@ -385,6 +403,9 @@ func (p *Plane) Run() Result {
 	for _, r := range p.regions {
 		r.fl.Start(0)
 	}
+	if p.atk != nil {
+		p.atk.Start(0)
+	}
 	for p.events.Len() > 0 {
 		e := heap.Pop(&p.events).(*event)
 		p.popped++
@@ -424,6 +445,7 @@ func (p *Plane) finishStats() {
 		}
 	}
 	p.res.PerIdentity = append(p.res.PerIdentity, p.idstats...)
+	p.finishBreach()
 }
 
 // maybeFinish stops the control loops once all requests resolved and no
@@ -435,6 +457,9 @@ func (p *Plane) maybeFinish(simclock.Time) {
 	p.finished = true
 	for _, r := range p.regions {
 		r.fl.Stop()
+	}
+	if p.atk != nil {
+		p.atk.Stop()
 	}
 }
 
@@ -470,6 +495,7 @@ func (p *Plane) blackout(r *Region, now simclock.Time) {
 	for _, pl := range r.placements {
 		if pl.diedAt < 0 && !pl.retired {
 			pl.diedAt = now
+			p.disarmTarget(pl, now)
 		}
 	}
 	if p.tr != nil {
@@ -491,6 +517,7 @@ func (p *Plane) crashHost(h *Host, now simclock.Time) {
 			continue
 		}
 		pl.diedAt = now
+		p.disarmTarget(pl, now)
 		p.res.CrashKilled++
 		h.region.st.Crashes++
 		h.region.fl.Retire(pl.b, now)
@@ -529,6 +556,7 @@ func (p *Plane) replaceLocal(victim *placement, now simclock.Time) {
 		nb.SetOnRelease(func(simclock.Time) { pl.host.acct.Uncommit(pl.bytes) })
 		r.fl.Admit(nb, t)
 		r.placements = append(r.placements, pl)
+		p.armTarget(pl)
 		victim.moved = true
 		p.res.CrashRecovered++
 		if p.tr != nil {
@@ -620,6 +648,7 @@ func (p *Plane) evacuateOne(victim *placement, now simclock.Time) {
 		nb.SetOnRelease(func(simclock.Time) { pl.host.acct.Uncommit(pl.bytes) })
 		dest.fl.Admit(nb, t)
 		dest.placements = append(dest.placements, pl)
+		p.armTarget(pl)
 		dest.st.TookIn++
 		victim.moved = true
 		p.res.Evacuated++

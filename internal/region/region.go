@@ -23,6 +23,7 @@
 package region
 
 import (
+	"lupine/internal/attack"
 	"lupine/internal/faults"
 	"lupine/internal/fleet"
 	"lupine/internal/metrics"
@@ -189,6 +190,12 @@ type Config struct {
 	// ControlEvery is the fault-plane tick consulting the region sites.
 	ControlEvery simclock.Duration
 
+	// Breach, when set, arms the security containment plane: a seeded
+	// exploit campaign (internal/attack) runs against the placements and
+	// the control plane answers with the quarantine → repave →
+	// evacuate ladder. Nil means no campaign — the classic plane.
+	Breach *BreachConfig
+
 	// Trunk is the inter-region link spec (core<->region, per region).
 	Trunk fabric.LinkSpec
 
@@ -344,6 +351,11 @@ type Result struct {
 
 	Repl snapshot.ReplStats
 
+	// Attack and Breach report the exploit campaign and the containment
+	// ladder's answer (zero unless Config.Breach armed them).
+	Attack attack.Stats
+	Breach BreachStats
+
 	PerRegion   []RegionStats
 	PerIdentity []IdentityStats
 	Cells       []fleet.Result
@@ -400,4 +412,28 @@ func (r *Result) EvacDuration() simclock.Duration {
 		return 0
 	}
 	return r.EvacEnd.Sub(r.EvacStart)
+}
+
+// Containment is the fraction of compromised placements the ladder
+// fully contained (quarantined AND repaved). 1 when nothing was
+// compromised: a campaign that never landed is perfectly contained.
+func (r *Result) Containment() float64 {
+	if r.Attack.Compromised == 0 {
+		return 1
+	}
+	return float64(r.Breach.Contained) / float64(r.Attack.Compromised)
+}
+
+// DwellPercentile returns the p-th percentile compromise dwell — the
+// span a compromised placement stayed on the wire before its egress was
+// cut (end of run when it never was). 0 when nothing was compromised.
+func (r *Result) DwellPercentile(p float64) simclock.Duration {
+	if len(r.Breach.Dwell) == 0 {
+		return 0
+	}
+	ns := make([]int64, len(r.Breach.Dwell))
+	for i, d := range r.Breach.Dwell {
+		ns[i] = int64(d)
+	}
+	return simclock.Duration(metrics.Percentile(ns, p))
 }

@@ -103,19 +103,24 @@ func (p *Plane) rolloutStep(ro *rollout, ri int, surge *placement, targets []*pl
 	}
 	if i >= len(targets) {
 		surge.retired = true
+		p.disarmTarget(surge, now)
 		r.fl.Drain(surge.b, ro.spec.DrainTimeout, now, func(t simclock.Time) {
 			p.rolloutRegion(ro, ri+1, t)
 		})
 		return
 	}
 	old := targets[i]
-	if old.diedAt >= 0 || old.retired {
-		// A crash or blackout got there first; its own recovery path owns
-		// the backend.
+	if old.diedAt >= 0 || old.retired || old.moved {
+		// A crash, blackout or containment repave got there first; its own
+		// recovery path owns the backend. Without the moved check a repaved
+		// (already retired) backend would be drained again — and a second
+		// drain on a retired backend never fires its continuation, stalling
+		// the rollout forever.
 		p.rolloutStep(ro, ri, surge, targets, i+1, now)
 		return
 	}
 	old.retired = true
+	p.disarmTarget(old, now)
 	r.fl.Drain(old.b, ro.spec.DrainTimeout, now, func(t simclock.Time) {
 		rebuild := simclock.Duration(0)
 		if ro.spec.Rebuild != nil {

@@ -21,14 +21,14 @@ go test -race ./...
 
 # The concurrency-sensitive planes (fleet event engine, network fabric,
 # supervisor, snapshot store, memory accountant, guest balloon,
-# telemetry plane, multi-region control plane, build pipeline + farm)
-# get a second racing pass with fresh test binaries: -count=2 defeats
-# result caching and shakes out run-to-run nondeterminism the
-# bit-for-bit replay guarantees forbid.
-echo "== go test -race -count=2 (fleet, fabric, vmm, snapshot, hostmem, guest, telemetry, region, bunny, farm)"
+# telemetry plane, multi-region control plane, build pipeline + farm,
+# attack plane) get a second racing pass with fresh test binaries:
+# -count=2 defeats result caching and shakes out run-to-run
+# nondeterminism the bit-for-bit replay guarantees forbid.
+echo "== go test -race -count=2 (fleet, fabric, vmm, snapshot, hostmem, guest, telemetry, region, bunny, farm, attack)"
 go test -race -count=2 ./internal/fleet/... ./internal/fabric/... ./internal/vmm/... \
     ./internal/snapshot/... ./internal/hostmem/... ./internal/guest/... ./internal/telemetry/... \
-    ./internal/region/... ./internal/bunny/... ./internal/farm/...
+    ./internal/region/... ./internal/bunny/... ./internal/farm/... ./internal/attack/...
 
 # Every registered fault site must surface in the operator-facing
 # catalog: the count of RegisterSite calls in non-test source must match
@@ -87,18 +87,31 @@ cmp "$tracedir/ca.json" "$tracedir/cb.json"
 go run ./scripts/jsoncheck.go "$tracedir/ca.json"
 echo "   byte-identical and valid JSON"
 
+# And for the containment plane: two same-seed breach campaigns — every
+# probe deflection, payload roll, lateral hop, canary detection,
+# quarantine, repave landing and region evacuation — must export
+# byte-identical traces.
+echo "== trace determinism (breach, two same-seed runs)"
+go run ./cmd/lupine-bench -run breach -trace-out="$tracedir/ba.json" >/dev/null
+go run ./cmd/lupine-bench -run breach -trace-out="$tracedir/bb.json" >/dev/null
+cmp "$tracedir/ba.json" "$tracedir/bb.json"
+go run ./scripts/jsoncheck.go "$tracedir/ba.json"
+echo "   byte-identical and valid JSON"
+
 # Wall-clock trajectory samples: how fast this machine's event engine
 # chews through the storms, with the headline availability (and p99 /
 # failover-detection p99) alongside so a perf fix that changes behavior
 # shows in the same file. -bench-out appends, so the files accumulate a
 # trajectory across runs instead of keeping only the latest sample.
-echo "== bench records (BENCH_netsplit.json, BENCH_regionfail.json, BENCH_catalog.json)"
+echo "== bench records (BENCH_netsplit.json, BENCH_regionfail.json, BENCH_catalog.json, BENCH_breach.json)"
 go run ./cmd/lupine-bench -bench-out=BENCH_netsplit.json
 go run ./scripts/jsoncheck.go BENCH_netsplit.json
 go run ./cmd/lupine-bench -bench=regionfail -bench-out=BENCH_regionfail.json
 go run ./scripts/jsoncheck.go BENCH_regionfail.json
 go run ./cmd/lupine-bench -bench=catalog -bench-out=BENCH_catalog.json
 go run ./scripts/jsoncheck.go BENCH_catalog.json
-echo "   appended to BENCH_netsplit.json, BENCH_regionfail.json, BENCH_catalog.json"
+go run ./cmd/lupine-bench -bench=breach -bench-out=BENCH_breach.json
+go run ./scripts/jsoncheck.go BENCH_breach.json
+echo "   appended to BENCH_netsplit.json, BENCH_regionfail.json, BENCH_catalog.json, BENCH_breach.json"
 
 echo "== ok"
