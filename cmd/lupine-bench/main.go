@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -37,7 +38,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit results as a JSON array (machine-readable)")
 	seed := flag.Uint64("seed", 42, "fault-storm seed for the chaos experiment")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the runs (load in Perfetto or chrome://tracing)")
-	metricsOut := flag.String("metrics-out", "", "write the telemetry metrics registry as JSON")
+	metricsOut := flag.String("metrics-out", "", "write the telemetry metrics registry as JSON (plus an OpenMetrics sibling at <path>.prom)")
+	sloOut := flag.String("slo-out", "", "write the per-experiment SLO reports (objectives, burns, alerts, incidents) as JSON")
 	flight := flag.Bool("flight", false, "print flight-recorder crash dumps after the runs")
 	benchOut := flag.String("bench-out", "", "run the -bench storm and append a wall-clock bench record to this JSON file")
 	bench := flag.String("bench", "netsplit", "which storm -bench-out samples: netsplit, regionfail, catalog, or breach")
@@ -110,13 +112,28 @@ func main() {
 	if *run == "" {
 		selected = experiments.All()
 	} else {
+		// Stray commas ("chaos,", ",,surge") are noise, not ids — skip
+		// them; an all-noise selector is an error, with the same valid-id
+		// listing Lookup gives for a typo.
 		for _, id := range strings.Split(*run, ",") {
-			e, err := experiments.Lookup(strings.TrimSpace(id))
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			e, err := experiments.Lookup(id)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
 			}
 			selected = append(selected, e)
+		}
+		if len(selected) == 0 {
+			var ids []string
+			for _, e := range experiments.All() {
+				ids = append(ids, e.ID)
+			}
+			fmt.Fprintf(os.Stderr, "-run selects no experiments (try: %v)\n", ids)
+			os.Exit(2)
 		}
 	}
 
@@ -168,6 +185,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		// The OpenMetrics sibling: the same registry in text exposition
+		// format, for anything that scrapes rather than parses JSON.
+		if err := os.WriteFile(*metricsOut+".prom", registry.OpenMetrics(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *sloOut != "" {
+		if err := writeSLOReports(*sloOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	if *flight {
 		for _, d := range tracer.Flight().Dumps() {
@@ -197,6 +226,12 @@ type benchRecord struct {
 	DetectP99Micros float64 `json:"detect_p99_us,omitempty"` // regionfail: failover detection p99
 	HitRate         float64 `json:"hit_rate,omitempty"`      // catalog: redeploy artifact-cache hit rate
 	Containment     float64 `json:"containment,omitempty"`   // breach: hardened-row contained/compromised
+
+	// Engine self-observability (ROADMAP item 2's baseline): how much
+	// the event engine allocates per virtual event, sampled around the
+	// storm with runtime.ReadMemStats.
+	AllocsPerEvent float64 `json:"allocs_per_event,omitempty"`
+	BytesPerEvent  float64 `json:"bytes_per_event,omitempty"`
 }
 
 // readBenchRecords loads the existing trajectory. A missing file is an
@@ -230,6 +265,8 @@ func writeBenchRecord(path, bench string, seed uint64) error {
 		When:       time.Now().UTC().Format(time.RFC3339),
 		Seed:       seed,
 	}
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	switch bench {
 	case "netsplit":
@@ -248,8 +285,29 @@ func writeBenchRecord(path, bench string, seed uint64) error {
 	}
 	rec.WallSeconds = time.Since(start).Seconds()
 	rec.EventsPerSec = float64(rec.Events) / rec.WallSeconds
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if rec.Events > 0 {
+		rec.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(rec.Events)
+		rec.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(rec.Events)
+	}
 	recs = append(recs, rec)
 	b, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// writeSLOReports lands every run experiment's SLO report — sorted by
+// experiment id, indented, newline-terminated — so two same-seed runs
+// write byte-identical files (check.sh gates on cmp).
+func writeSLOReports(path string) error {
+	reps := experiments.SLOReports()
+	if len(reps) == 0 {
+		return fmt.Errorf("slo-out: no experiments ran, nothing to report")
+	}
+	b, err := json.MarshalIndent(reps, "", "  ")
 	if err != nil {
 		return err
 	}

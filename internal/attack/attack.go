@@ -315,6 +315,12 @@ type Plane struct {
 	tr      *telemetry.Tracer
 	trTrack string
 
+	// Registry counters (nil handles no-op): the SLO plane's security
+	// SLIs sample these rather than re-deriving them from the trace.
+	mCompromises *telemetry.Counter
+	mDetects     *telemetry.Counter
+	mDeflects    *telemetry.Counter
+
 	st Stats
 }
 
@@ -336,10 +342,16 @@ func New(cfg Config, sched fabric.Scheduler, net *fabric.Network, inj *faults.In
 func (p *Plane) SetHooks(h Hooks) { p.hooks = h }
 
 // Observe attaches telemetry: compromise/detect/lateral instants land
-// on track's "attack" lane. Call before Start.
-func (p *Plane) Observe(tr *telemetry.Tracer, track string) {
+// on track's "attack" lane, and the registry (nil = off) gains
+// compromise/detect/deflect counters under the same track so metric
+// consumers can watch the campaign without parsing the trace. Call
+// before Start.
+func (p *Plane) Observe(tr *telemetry.Tracer, reg *telemetry.Registry, track string) {
 	p.tr = tr
 	p.trTrack = track
+	p.mCompromises = reg.Counter(track + ".compromises")
+	p.mDetects = reg.Counter(track + ".detects")
+	p.mDeflects = reg.Counter(track + ".deflects")
 }
 
 // Stats returns the campaign ledger so far.
@@ -444,6 +456,7 @@ func (p *Plane) exploit(t *Target, syscall, cause string, now simclock.Time) {
 	p.st.Attempts++
 	if !t.surface.exposes(syscall) {
 		p.st.Deflected++
+		p.mDeflects.Inc()
 		if p.tr != nil {
 			p.tr.Instant("attack", p.trTrack, "deflect", now,
 				telemetry.A("target", t.name), telemetry.A("syscall", syscall))
@@ -492,6 +505,7 @@ func (p *Plane) compromise(t *Target, cause string, now simclock.Time) {
 	case "kml-escalation":
 		p.st.ByEscalation++
 	}
+	p.mCompromises.Inc()
 	if p.tr != nil {
 		p.tr.Instant("attack", p.trTrack, "compromise", now,
 			telemetry.A("target", t.name), telemetry.A("cause", cause))
@@ -609,6 +623,7 @@ func (p *Plane) canaryTick(now simclock.Time) {
 			t.detected = true
 			t.detectedAt = now
 			p.st.Detected++
+			p.mDetects.Inc()
 			p.st.DetectLatency = append(p.st.DetectLatency, now.Sub(t.compromisedAt))
 			if p.tr != nil {
 				p.tr.Instant("attack", p.trTrack, "detect", now,

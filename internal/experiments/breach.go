@@ -24,6 +24,7 @@ import (
 	"lupine/internal/metrics"
 	"lupine/internal/region"
 	"lupine/internal/simclock"
+	"lupine/internal/slo"
 	"lupine/internal/vmm"
 )
 
@@ -81,7 +82,15 @@ type breachRow struct {
 	Hardening string
 	Boot      simclock.Duration // measured clean boot of the row's image
 	Res       region.Result
+
+	scope       *slo.Scope    // SLO scope, set on the unhardened lupine+mp row only
+	firstRepave simclock.Time // first repave landing on the scoped row; -1 if none
 }
+
+// breachSloEvery is the breach scope's sample interval: finer than the
+// default so the containment alert aligns to a sample boundary that
+// still precedes the first repave landing — the property the tests pin.
+const breachSloEvery = 50 * simclock.Microsecond
 
 // breachRegionConfig is the shared plane shape.
 func breachRegionConfig() region.Config {
@@ -90,24 +99,64 @@ func breachRegionConfig() region.Config {
 	return cfg
 }
 
-// runBreachRow drives one configured plane through the campaign.
-func runBreachRow(name, hardening string, boot simclock.Duration, cfg region.Config) (breachRow, error) {
+// runBreachRow drives one configured plane through the campaign. The
+// scoped row carries the experiment's SLO scope: a containment
+// objective (deflections and detections are good events, compromises
+// burn the budget) beside the regional availability objective, and the
+// first repave landing is kept so the tests can assert the alert fired
+// before the plane finished recovering.
+func runBreachRow(name, hardening string, boot simclock.Duration, scoped bool, cfg region.Config) (breachRow, error) {
 	inj, err := faults.New(breachPlan())
 	if err != nil {
 		return breachRow{}, err
 	}
 	track := "breach/" + name
-	inj.Observe(activeTrace, track)
+	tr, reg := activeTrace, activeMetrics
+	var scope *slo.Scope
+	if scoped {
+		tr, reg = sloTelemetry()
+		var regions []string
+		for _, rs := range cfg.Regions {
+			regions = append(regions, rs.Name)
+		}
+		scope = slo.NewScope(track, reg, tr, breachSloEvery)
+		scope.Add(slo.Objective{
+			Name:   "containment",
+			Good:   []string{track + ".deflects", track + ".detects"},
+			Bad:    []string{track + ".compromises"},
+			Target: 0.9,
+			Rules:  slo.DefaultRules(simclock.Millisecond, 5, 2),
+		})
+		scope.Add(sloRegionAvailability(track, regions, 0.99, slo.DefaultRules(simclock.Millisecond, 10, 4)))
+		scope.SetInjector(inj)
+	}
+	inj.Observe(tr, track)
 	p := region.New(cfg, inj)
-	p.Observe(activeTrace, activeMetrics, track)
-	return breachRow{System: name, Hardening: hardening, Boot: boot, Res: p.Run()}, nil
+	p.Observe(tr, reg, track)
+	if scope != nil {
+		scope.Bind(p.Clock())
+	}
+	res := p.Run()
+	row := breachRow{System: name, Hardening: hardening, Boot: boot, Res: res, firstRepave: -1}
+	if scope != nil {
+		scope.Finish(res.End)
+		row.scope = scope
+		for _, e := range tr.Events() {
+			if e.Cat == "region" && e.Name == "repave" && e.Track == track {
+				if row.firstRepave < 0 || e.At < row.firstRepave {
+					row.firstRepave = e.At
+				}
+			}
+		}
+	}
+	return row, nil
 }
 
 // breachLupineRow builds one lupine variant through the declarative
 // pipeline (so hardening is priced kconfig, not a flag), captures its
 // warm snapshot, derives its exploit surface from the built image, and
 // runs the campaign against it.
-func breachLupineRow(cache *bunny.Cache, name, profile, hardening string, evacDensity float64) (breachRow, error) {
+func breachLupineRow(cache *bunny.Cache, name, profile, hardening string, scoped bool, evacDensity float64) (breachRow, error) {
 	spec := &bunny.Spec{
 		App:       "redis",
 		Profile:   profile,
@@ -136,7 +185,7 @@ func breachLupineRow(cache *bunny.Cache, name, profile, hardening string, evacDe
 		Surface:         func(int) attack.Surface { return sfc },
 		EvacuateDensity: evacDensity,
 	}
-	return runBreachRow(name, hardening, coldBoot, cfg)
+	return runBreachRow(name, hardening, coldBoot, scoped, cfg)
 }
 
 // runBreachStorm executes the sweep and returns the raw rows (the test
@@ -153,11 +202,14 @@ func runBreachStorm() ([]breachRow, error) {
 		if level != attack.HardeningOff {
 			name += "+" + level
 		}
-		r, err := breachLupineRow(cache, name, bunny.ProfileNoKML, level, 0)
+		r, err := breachLupineRow(cache, name, bunny.ProfileNoKML, level, level == attack.HardeningOff, 0)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, r)
+		if r.scope != nil {
+			sloRecord("breach", r.scope)
+		}
 	}
 
 	// The KML variant: the same unhardened build as row one, but the app
@@ -166,7 +218,7 @@ func runBreachStorm() ([]breachRow, error) {
 	// difference from lupine+mp/off is the privilege level; the only
 	// difference in the outcome is the blast radius. Compromise density
 	// past 0.6 evacuates the region wholesale.
-	r, err := breachLupineRow(cache, "lupine+kml", bunny.ProfileKML, attack.HardeningOff, 0.6)
+	r, err := breachLupineRow(cache, "lupine+kml", bunny.ProfileKML, attack.HardeningOff, false, 0.6)
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +237,7 @@ func runBreachStorm() ([]breachRow, error) {
 		cfg := breachRegionConfig()
 		cfg.ColdBoot = boot
 		cfg.Breach = &region.BreachConfig{Campaign: breachCampaignConfig()}
-		r, err := runBreachRow(s.Name, "-", boot, cfg)
+		r, err := runBreachRow(s.Name, "-", boot, false, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -25,6 +25,7 @@ import (
 	"lupine/internal/metrics"
 	"lupine/internal/region"
 	"lupine/internal/simclock"
+	"lupine/internal/slo"
 	"lupine/internal/snapshot"
 	"lupine/internal/vmm"
 )
@@ -104,6 +105,8 @@ type catalogRow struct {
 	System string
 	Warm   bool
 	Res    region.Result
+
+	scope *slo.Scope // SLO scope, set on the warm mixed row only
 }
 
 // catalogSpecs is the whole top-20 catalog as default-profile specs.
@@ -199,17 +202,40 @@ func catalogConfig(idents []catalogIdentity, cache *bunny.Cache, warm, upgrades 
 	return cfg
 }
 
-// runCatalogRow drives one configured plane through the storm.
-func runCatalogRow(name string, warm bool, cfg region.Config) (catalogRow, error) {
+// runCatalogRow drives one configured plane through the storm. The
+// scoped row carries the experiment's SLO scope: availability summed
+// across the three regional cells of the mixed-identity plane.
+func runCatalogRow(name string, warm, scoped bool, cfg region.Config) (catalogRow, error) {
 	inj, err := faults.New(catalogPlan())
 	if err != nil {
 		return catalogRow{}, err
 	}
 	track := "catalog/" + name
-	inj.Observe(activeTrace, track)
+	tr, reg := activeTrace, activeMetrics
+	var scope *slo.Scope
+	if scoped {
+		tr, reg = sloTelemetry()
+		var regions []string
+		for _, rs := range cfg.Regions {
+			regions = append(regions, rs.Name)
+		}
+		scope = slo.NewScope(track, reg, tr, sloEvery)
+		// Same shape as regionfail: three nines, 2 ms scale, so the slow
+		// rule reaches back from the evacuation burst to the blackout.
+		scope.Add(sloRegionAvailability(track, regions, 0.999, slo.DefaultRules(2*simclock.Millisecond, 10, 4)))
+		scope.SetInjector(inj)
+	}
+	inj.Observe(tr, track)
 	p := region.New(cfg, inj)
-	p.Observe(activeTrace, activeMetrics, track)
-	return catalogRow{System: name, Warm: warm, Res: p.Run()}, nil
+	p.Observe(tr, reg, track)
+	if scope != nil {
+		scope.Bind(p.Clock())
+	}
+	res := p.Run()
+	if scope != nil {
+		scope.Finish(res.End)
+	}
+	return catalogRow{System: name, Warm: warm, Res: res, scope: scope}, nil
 }
 
 // runCatalogStorm executes both phases and returns the raw results.
@@ -221,16 +247,17 @@ func runCatalogStorm() (*catalogResult, error) {
 	}
 
 	// Row 1: warm per-identity lineages, replicated, rolling upgrades.
-	row, err := runCatalogRow("lupine-mixed", true, catalogConfig(res.Idents, cache, true, true))
+	row, err := runCatalogRow("lupine-mixed", true, true, catalogConfig(res.Idents, cache, true, true))
 	if err != nil {
 		return nil, err
 	}
 	res.Rows = append(res.Rows, row)
+	sloRecord("catalog", row.scope)
 
 	// Row 2: the same mixed plane with no snapshot story — every
 	// replacement, evacuee and upgrade replacement pays its identity's
 	// measured cold boot.
-	row, err = runCatalogRow("lupine-mixed-cold", false, catalogConfig(res.Idents, cache, false, true))
+	row, err = runCatalogRow("lupine-mixed-cold", false, false, catalogConfig(res.Idents, cache, false, true))
 	if err != nil {
 		return nil, err
 	}
@@ -261,7 +288,7 @@ func runCatalogStorm() (*catalogResult, error) {
 			sup.Observe(activeTrace, fmt.Sprintf("%s/r%d/vm%d", track, ri, vi))
 			return fleet.FromReport(sup.Run(func(int) vmm.Attempt { return crash }))
 		}
-		row, err = runCatalogRow(s.Name, false, cfg)
+		row, err = runCatalogRow(s.Name, false, false, cfg)
 		if err != nil {
 			return nil, err
 		}

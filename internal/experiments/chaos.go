@@ -19,6 +19,7 @@ import (
 	"lupine/internal/libos"
 	"lupine/internal/metrics"
 	"lupine/internal/simclock"
+	"lupine/internal/slo"
 	"lupine/internal/telemetry"
 	"lupine/internal/vmm"
 )
@@ -291,6 +292,7 @@ func runChaosStorm() ([]chaosResult, error) {
 		{"microvm", func() (*core.Unikernel, error) { return core.BuildMicroVM(db(), spec) }},
 	}
 	var out []chaosResult
+	var heroScope *slo.Scope
 	for _, r := range rows {
 		u, err := r.build()
 		if err != nil {
@@ -312,6 +314,24 @@ func runChaosStorm() ([]chaosResult, error) {
 		}
 		for _, c := range counters {
 			res.Degraded += c.degraded
+		}
+		// The hero row's SLO scope replays the supervised timeline:
+		// every restart window burns the uptime budget, and the storm's
+		// fire log attributes the burns.
+		if r.name == "lupine+mp" {
+			track := "chaos/" + r.name
+			tr, reg := sloTelemetry()
+			heroScope = slo.NewScope(track, reg, tr, sloEvery)
+			heroScope.Add(slo.Objective{
+				Name:   "uptime",
+				Good:   []string{track + ".up-ns"},
+				Bad:    []string{track + ".down-ns"},
+				Target: 0.9,
+				Rules:  slo.DefaultRules(2*simclock.Millisecond, 5, 2),
+			})
+			heroScope.SetInjector(inj)
+			sloReplaySupervisor(heroScope, reg, track, rep)
+			heroScope.Finish(rep.End)
 		}
 		out = append(out, res)
 	}
@@ -335,6 +355,7 @@ func runChaosStorm() ([]chaosResult, error) {
 		rep := sup.Run(func(int) vmm.Attempt { return crash })
 		out = append(out, chaosResult{System: s.Name, Report: rep})
 	}
+	sloRecord("chaos", heroScope)
 	return out, nil
 }
 

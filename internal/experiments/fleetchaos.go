@@ -22,6 +22,7 @@ import (
 	"lupine/internal/libos"
 	"lupine/internal/metrics"
 	"lupine/internal/simclock"
+	"lupine/internal/slo"
 	"lupine/internal/vmm"
 )
 
@@ -167,6 +168,7 @@ func runFleetChaosStorm() ([]fleetChaosResult, error) {
 		{"microvm", core.BuildOpts{}, func() (*core.Unikernel, error) { return core.BuildMicroVM(db(), spec) }},
 	}
 	var out []fleetChaosResult
+	var heroScope *slo.Scope
 	for _, r := range rows {
 		u, err := r.build()
 		if err != nil {
@@ -209,10 +211,30 @@ func runFleetChaosStorm() ([]fleetChaosResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		winj.Observe(activeTrace, "fleetchaos/"+r.name)
+		track := "fleetchaos/" + r.name
+		tr, reg := activeTrace, activeMetrics
+		var scope *slo.Scope
+		if r.name == "lupine+mp" {
+			// The hero row's SLO scope: availability and latency SLIs
+			// sampled on the fleet's own clock, burns attributed to the
+			// wire storm and the pool's supervised damage.
+			tr, reg = sloTelemetry()
+			scope = slo.NewScope(track, reg, tr, sloEvery)
+			scope.Add(sloAvailability(track, 0.99, slo.DefaultRules(simclock.Millisecond, 10, 4)))
+			scope.Add(sloLatency(track, 2*simclock.Millisecond, 0.9, slo.DefaultRules(simclock.Millisecond, 5, 2)))
+			scope.SetInjector(winj)
+		}
+		winj.Observe(tr, track)
 		f := fleet.New(cfg, backends, plan, winj)
-		f.Observe(activeTrace, activeMetrics, "fleetchaos/"+r.name)
+		f.Observe(tr, reg, track)
+		if scope != nil {
+			scope.Bind(f.Clock())
+			heroScope = scope
+		}
 		res := f.Run()
+		if scope != nil {
+			scope.Finish(res.End)
+		}
 		builds, hits := cache.Stats()
 		out = append(out, fleetChaosResult{
 			System:    r.name,
@@ -259,6 +281,7 @@ func runFleetChaosStorm() ([]fleetChaosResult, error) {
 		res := f.Run()
 		out = append(out, fleetChaosResult{System: s.Name, Res: res, Backends: f.Backends()})
 	}
+	sloRecord("fleetchaos", heroScope)
 	return out, nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"lupine/internal/libos"
 	"lupine/internal/metrics"
 	"lupine/internal/simclock"
+	"lupine/internal/slo"
 	"lupine/internal/snapshot"
 	"lupine/internal/telemetry"
 	"lupine/internal/vmm"
@@ -89,6 +90,8 @@ type memResult struct {
 	Ladder   bool // graded ladder wired (balloon, evict, shed, restore)
 	Capacity int64
 	Res      fleet.Result
+
+	scope *slo.Scope // SLO scope, set on the stall row only
 }
 
 // memPool is the MemoryPlane of a lupine snapshot pool: the accountant
@@ -290,7 +293,22 @@ func runMemLadderPool(name string, u *core.Unikernel, artifacts []*snapshot.Snap
 	out := memResult{System: name, Ladder: true}
 	track := "memstorm/" + name
 	mon := vmm.Firecracker()
-	inj.Observe(activeTrace, track)
+
+	// The stall row (the one with an injector) carries the SLO scope:
+	// pressure sheds and kill-driven latency burn the budget, and the
+	// incident chain names the armed reclaim stalls plus the ladder
+	// rungs that climbed in response.
+	tr, reg := activeTrace, activeMetrics
+	var scope *slo.Scope
+	if inj != nil {
+		tr, reg = sloTelemetry()
+		scope = slo.NewScope(track, reg, tr, sloEvery)
+		scope.Add(sloAvailability(track, 0.99, slo.DefaultRules(simclock.Millisecond, 10, 4)))
+		scope.Add(sloLatency(track, 2*simclock.Millisecond, 0.9, slo.DefaultRules(simclock.Millisecond, 5, 2)))
+		scope.SetInjector(inj)
+		out.scope = scope
+	}
+	inj.Observe(tr, track)
 
 	// The origin VM boots once under a no-restart supervisor so its boot
 	// phases and attempt land on the trace. Behavior is identical to a bare
@@ -301,7 +319,7 @@ func runMemLadderPool(name string, u *core.Unikernel, artifacts []*snapshot.Snap
 		bootErr error
 	)
 	sup := vmm.NewSupervisor(vmm.RestartPolicy{})
-	sup.Observe(activeTrace, track+"/origin")
+	sup.Observe(tr, track+"/origin")
 	sup.Run(func(int) vmm.Attempt {
 		v, err := u.Boot(core.BootOpts{Monitor: mon, ProbeOnly: true, Faults: inj})
 		if err != nil {
@@ -346,7 +364,7 @@ func runMemLadderPool(name string, u *core.Unikernel, artifacts []*snapshot.Snap
 		store:        store,
 		pin:          snapshot.Key(snap.Kernel, snap.Monitor),
 		restoreReady: snap.RestoreCost(),
-		tr:           activeTrace,
+		tr:           tr,
 		track:        track,
 		snap:         snap,
 		mon:          mon,
@@ -367,20 +385,20 @@ func runMemLadderPool(name string, u *core.Unikernel, artifacts []*snapshot.Snap
 	// only refuses work in the last 5% before physical exhaustion — the
 	// shed rung is a narrow band, not the default posture.
 	p.acct = hostmem.New(hostmem.Config{Capacity: capacity, Overcommit: memOvercommit, FullFrac: 0.95})
-	p.acct.Observe(activeTrace, track)
+	p.acct.Observe(tr, track)
 	p.acct.Commit(baseline)
 	p.ladder = hostmem.NewLadder(p.acct, inj, p.hooks())
-	p.ladder.Observe(activeTrace, track)
+	p.ladder.Observe(tr, track)
 
 	backends := []*fleet.Backend{fleet.NewBackend("origin", fleet.AlwaysUp())}
 	for i := 0; i < memPoolClones; i++ {
 		if !p.acct.Commit(perClone) {
 			return out, fmt.Errorf("memstorm: clone %d refused admission under %gx overcommit", i, memOvercommit)
 		}
-		if activeTrace != nil {
+		if tr != nil {
 			// Pre-provisioned clones are restores too; the nil injector keeps
 			// the real fault stream untouched.
-			snap.RestoreObserved(mon, nil, 0, snap.BootTotal, activeTrace, fmt.Sprintf("%s/clone%d", track, i))
+			snap.RestoreObserved(mon, nil, 0, snap.BootTotal, tr, fmt.Sprintf("%s/clone%d", track, i))
 		}
 		c := cs.Clone()
 		p.clones = append(p.clones, c)
@@ -390,9 +408,15 @@ func runMemLadderPool(name string, u *core.Unikernel, artifacts []*snapshot.Snap
 	}
 
 	f := fleet.New(memConfig(), backends, nil, nil)
-	f.Observe(activeTrace, activeMetrics, track)
+	f.Observe(tr, reg, track)
 	f.AttachMemory(p, memTickEvery)
+	if scope != nil {
+		scope.Bind(f.Clock())
+	}
 	out.Res = f.Run()
+	if scope != nil {
+		scope.Finish(out.Res.End)
+	}
 	out.Capacity = capacity
 	return out, nil
 }
@@ -481,6 +505,7 @@ func runMemStormPools() ([]memResult, error) {
 		return nil, err
 	}
 	out = append(out, stall)
+	sloRecord("memstorm", stall.scope)
 
 	for _, s := range libos.All() {
 		r, err := runMemCrashPool(s)

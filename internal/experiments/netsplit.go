@@ -26,6 +26,7 @@ import (
 	"lupine/internal/libos"
 	"lupine/internal/metrics"
 	"lupine/internal/simclock"
+	"lupine/internal/slo"
 	"lupine/internal/vmm"
 )
 
@@ -146,19 +147,36 @@ func netsplitRecovered(backends []*fleet.Backend) bool {
 }
 
 // netsplitRun drives one (pool, policy) combination through the wire
-// storm.
-func netsplitRun(backends []*fleet.Backend, policy, track string) (fleet.Result, []*fleet.Backend, fabric.Stats, error) {
+// storm. scoped rows additionally get an SLO scope sampling the row's
+// availability and latency SLIs on the fleet clock, with the wire
+// injector attached so availability burns attribute to the partitions.
+func netsplitRun(backends []*fleet.Backend, policy, track string, scoped bool) (fleet.Result, []*fleet.Backend, fabric.Stats, *slo.Scope, error) {
 	cfg := netsplitConfig(policy)
 	cfg.TrafficStart = simclock.Time(fleetBootTime(backends) + simclock.Millisecond)
 	winj, err := faults.New(netsplitWirePlan(cfg.TrafficStart))
 	if err != nil {
-		return fleet.Result{}, nil, fabric.Stats{}, err
+		return fleet.Result{}, nil, fabric.Stats{}, nil, err
 	}
-	winj.Observe(activeTrace, track)
+	tr, reg := activeTrace, activeMetrics
+	var scope *slo.Scope
+	if scoped {
+		tr, reg = sloTelemetry()
+		scope = slo.NewScope(track, reg, tr, sloEvery)
+		scope.Add(sloAvailability(track, 0.99, slo.DefaultRules(simclock.Millisecond, 10, 4)))
+		scope.Add(sloLatency(track, 2*simclock.Millisecond, 0.9, slo.DefaultRules(simclock.Millisecond, 5, 2)))
+		scope.SetInjector(winj)
+	}
+	winj.Observe(tr, track)
 	f := fleet.New(cfg, backends, nil, winj)
-	f.Observe(activeTrace, activeMetrics, track)
+	f.Observe(tr, reg, track)
+	if scope != nil {
+		scope.Bind(f.Clock())
+	}
 	res := f.Run()
-	return res, f.Backends(), f.Net().Stats(), nil
+	if scope != nil {
+		scope.Finish(res.End)
+	}
+	return res, f.Backends(), f.Net().Stats(), scope, nil
 }
 
 // runNetSplitStorm executes the full comparison and returns the raw
@@ -182,6 +200,7 @@ func runNetSplitStorm() ([]netsplitResult, error) {
 		}},
 	}
 	var out []netsplitResult
+	var heroScope *slo.Scope
 	for _, v := range variants {
 		u, err := v.build()
 		if err != nil {
@@ -194,9 +213,13 @@ func runNetSplitStorm() ([]netsplitResult, error) {
 				return nil, err
 			}
 			recovered := netsplitRecovered(backends)
-			res, pool, ns, err := netsplitRun(backends, policy, track)
+			scoped := v.name == "lupine+mp" && policy == fleet.PolicyRR
+			res, pool, ns, scope, err := netsplitRun(backends, policy, track, scoped)
 			if err != nil {
 				return nil, err
+			}
+			if scope != nil {
+				heroScope = scope
 			}
 			out = append(out, netsplitResult{
 				System:    v.name,
@@ -233,7 +256,7 @@ func runNetSplitStorm() ([]netsplitResult, error) {
 			backends = append(backends, fleet.NewBackend(fmt.Sprintf("vm%d", i), fleet.FromReport(rep)))
 		}
 		recovered := netsplitRecovered(backends)
-		res, pool, ns, err := netsplitRun(backends, fleet.PolicyRR, track)
+		res, pool, ns, _, err := netsplitRun(backends, fleet.PolicyRR, track, false)
 		if err != nil {
 			return nil, err
 		}
@@ -242,6 +265,7 @@ func runNetSplitStorm() ([]netsplitResult, error) {
 			Res: res, Backends: pool, Net: ns, Recovered: recovered,
 		})
 	}
+	sloRecord("netsplit", heroScope)
 	return out, nil
 }
 

@@ -26,6 +26,7 @@ import (
 	"lupine/internal/metrics"
 	"lupine/internal/region"
 	"lupine/internal/simclock"
+	"lupine/internal/slo"
 	"lupine/internal/snapshot"
 	"lupine/internal/vmm"
 )
@@ -85,19 +86,46 @@ type regionFailResult struct {
 	System string
 	Warm   bool // replicated snapshot warm pool available
 	Res    region.Result
+
+	scope *slo.Scope // SLO scope, set on the warm lupine+mp row only
 }
 
-// runRegionFailRow drives one configured plane through the storm.
-func runRegionFailRow(name string, warm bool, cfg region.Config) (regionFailResult, error) {
+// runRegionFailRow drives one configured plane through the storm. The
+// scoped row carries the experiment's SLO scope: availability summed
+// across the three regional cells, so a blackout burns the budget until
+// the survivors absorb the dead region's share.
+func runRegionFailRow(name string, warm, scoped bool, cfg region.Config) (regionFailResult, error) {
 	inj, err := faults.New(regionFailPlan())
 	if err != nil {
 		return regionFailResult{}, err
 	}
 	track := "regionfail/" + name
-	inj.Observe(activeTrace, track)
+	tr, reg := activeTrace, activeMetrics
+	var scope *slo.Scope
+	if scoped {
+		tr, reg = sloTelemetry()
+		var regions []string
+		for _, rs := range cfg.Regions {
+			regions = append(regions, rs.Name)
+		}
+		scope = slo.NewScope(track, reg, tr, sloEvery)
+		// Three nines with a 2 ms scale: the plane's badness is a thin
+		// burst right after the blackout, so the slow rule's window must
+		// be wide enough to catch it and reach back to the fault.
+		scope.Add(sloRegionAvailability(track, regions, 0.999, slo.DefaultRules(2*simclock.Millisecond, 10, 4)))
+		scope.SetInjector(inj)
+	}
+	inj.Observe(tr, track)
 	p := region.New(cfg, inj)
-	p.Observe(activeTrace, activeMetrics, track)
-	return regionFailResult{System: name, Warm: warm, Res: p.Run()}, nil
+	p.Observe(tr, reg, track)
+	if scope != nil {
+		scope.Bind(p.Clock())
+	}
+	res := p.Run()
+	if scope != nil {
+		scope.Finish(res.End)
+	}
+	return regionFailResult{System: name, Warm: warm, Res: res, scope: scope}, nil
 }
 
 // runRegionFailStorm executes the full comparison and returns the raw
@@ -125,17 +153,18 @@ func runRegionFailStorm() ([]regionFailResult, error) {
 	cfg.Monitor = vmm.Firecracker()
 	cfg.Replicate = true
 	cfg.ColdBoot = coldBoot
-	r, err := runRegionFailRow("lupine+mp", true, cfg)
+	r, err := runRegionFailRow("lupine+mp", true, true, cfg)
 	if err != nil {
 		return nil, err
 	}
 	out = append(out, r)
+	sloRecord("regionfail", r.scope)
 
 	// Row 2: the same kernel and plane with no snapshot story — every
 	// replacement and every evacuee pays the full measured boot.
 	cfg = regionFailConfig()
 	cfg.ColdBoot = coldBoot
-	r, err = runRegionFailRow("lupine+mp-cold", false, cfg)
+	r, err = runRegionFailRow("lupine+mp-cold", false, false, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -165,7 +194,7 @@ func runRegionFailStorm() ([]regionFailResult, error) {
 			sup.Observe(activeTrace, fmt.Sprintf("%s/r%d/vm%d", track, ri, vi))
 			return fleet.FromReport(sup.Run(func(int) vmm.Attempt { return crash }))
 		}
-		r, err = runRegionFailRow(s.Name, false, cfg)
+		r, err = runRegionFailRow(s.Name, false, false, cfg)
 		if err != nil {
 			return nil, err
 		}

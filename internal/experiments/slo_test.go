@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Every storm must land an SLO report with at least one sampled scope
+// and one declared objective — the surface lupine-bench -slo-out
+// exports.
+func TestEveryExperimentEmitsSLOReport(t *testing.T) {
+	runs := []func() error{
+		func() error { _, err := runChaosStorm(); return err },
+		func() error { _, err := runFleetChaosStorm(); return err },
+		func() error { _, err := runSurgeStorm(); return err },
+		func() error { _, err := runMemStormPools(); return err },
+		func() error { _, err := runNetSplit(); return err },
+		func() error { _, err := runRegionFailStorm(); return err },
+		func() error { _, err := runCatalogStorm(); return err },
+		func() error { _, err := runBreachStorm(); return err },
+	}
+	for _, run := range runs {
+		if err := run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []string{"chaos", "fleetchaos", "surge", "memstorm", "netsplit", "regionfail", "catalog", "breach"} {
+		rep := SLOReport(id)
+		if rep == nil {
+			t.Fatalf("%s: no SLO report recorded", id)
+		}
+		sc := rep.Scope("")
+		if sc == nil || sc.Samples == 0 || len(sc.Objectives) == 0 {
+			t.Fatalf("%s: report has no sampled scope with objectives: %+v", id, rep.Scopes)
+		}
+	}
+}
+
+// The netsplit wire storm must burn the scoped row's latency budget,
+// and the incident chain must name the injected partition — the SLO
+// plane closing the loop from alert back to fault.
+func TestNetSplitSLOAttributesPartition(t *testing.T) {
+	if _, err := runNetSplit(); err != nil {
+		t.Fatal(err)
+	}
+	rep := SLOReport("netsplit")
+	if rep == nil {
+		t.Fatal("no netsplit SLO report")
+	}
+	sc := rep.Scope("netsplit/lupine+mp/rr")
+	if sc == nil {
+		t.Fatalf("scoped track missing; scopes = %+v", rep.Scopes)
+	}
+	avail := sc.Objective("availability")
+	if avail.Fired() == 0 {
+		t.Fatal("availability burn never fired under the wire storm")
+	}
+	lat := sc.Objective("latency")
+	if lat.Fired() == 0 {
+		t.Fatal("latency burn never fired under the wire storm")
+	}
+	if !lat.HasCause("fabric/partition") {
+		t.Fatalf("latency incidents never attribute fabric/partition: %+v", lat.Incidents)
+	}
+}
+
+// The memstorm stall row's availability burn must attribute to the
+// injected reclaim stalls that wedged the ladder.
+func TestMemStormSLOAttributesReclaimStall(t *testing.T) {
+	if _, err := runMemStormPools(); err != nil {
+		t.Fatal(err)
+	}
+	rep := SLOReport("memstorm")
+	if rep == nil {
+		t.Fatal("no memstorm SLO report")
+	}
+	avail := rep.Scope("memstorm/lupine+mp/stall").Objective("availability")
+	if avail.Fired() == 0 {
+		t.Fatal("availability burn never fired under the memory storm")
+	}
+	if !avail.HasCause("hostmem/reclaim-stall") {
+		t.Fatalf("availability incidents never attribute hostmem/reclaim-stall: %+v", avail.Incidents)
+	}
+	if !avail.HasCause("hostmem/rung:shed") {
+		t.Fatalf("availability incidents never attribute the shed rung: %+v", avail.Incidents)
+	}
+}
+
+// The regionfail blackout: the availability burn's cause chain must
+// reach back from the evacuation burst to the blackout itself.
+func TestRegionFailSLOAttributesBlackout(t *testing.T) {
+	if _, err := runRegionFailStorm(); err != nil {
+		t.Fatal(err)
+	}
+	rep := SLOReport("regionfail")
+	if rep == nil {
+		t.Fatal("no regionfail SLO report")
+	}
+	avail := rep.Scope("regionfail/lupine+mp").Objective("availability")
+	if avail.Fired() == 0 {
+		t.Fatal("availability burn never fired through the blackout")
+	}
+	if !avail.HasCause("region/blackout") {
+		t.Fatalf("availability incidents never attribute region/blackout: %+v", avail.Incidents)
+	}
+}
+
+// The breach campaign: the containment objective's first alert must
+// precede the first repave landing — the SLO plane sees the breach
+// before the containment ladder has finished repaving it.
+func TestBreachSLOContainmentAlertPrecedesRepave(t *testing.T) {
+	rows, err := runBreachStorm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hero *breachRow
+	for i := range rows {
+		if rows[i].scope != nil {
+			hero = &rows[i]
+		}
+	}
+	if hero == nil || hero.System != "lupine+mp" {
+		t.Fatalf("scoped row missing or misplaced: %+v", hero)
+	}
+	rep := SLOReport("breach")
+	if rep == nil {
+		t.Fatal("no breach SLO report")
+	}
+	cont := rep.Scope("breach/lupine+mp").Objective("containment")
+	first := cont.FirstAlert()
+	if first == nil {
+		t.Fatal("containment objective never alerted under the campaign")
+	}
+	if hero.firstRepave < 0 {
+		t.Fatal("no repave landed on the scoped row")
+	}
+	repaveUS := float64(hero.firstRepave) / 1000
+	if first.AtUS >= repaveUS {
+		t.Fatalf("containment alert at %vµs does not precede first repave at %vµs", first.AtUS, repaveUS)
+	}
+	if !cont.HasCause("attack/payload") {
+		t.Fatalf("containment incidents never attribute attack/payload: %+v", cont.Incidents)
+	}
+}
+
+// Same seed, same storm ⇒ byte-identical SLO report. The check.sh gate
+// asserts this across processes; this is the in-process version.
+func TestSLOReportDeterministic(t *testing.T) {
+	if _, err := runMemStormPools(); err != nil {
+		t.Fatal(err)
+	}
+	a := SLOReport("memstorm").JSON()
+	if _, err := runMemStormPools(); err != nil {
+		t.Fatal(err)
+	}
+	b := SLOReport("memstorm").JSON()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two same-seed memstorm runs render different SLO reports")
+	}
+}

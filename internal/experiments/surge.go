@@ -22,6 +22,7 @@ import (
 	"lupine/internal/libos"
 	"lupine/internal/metrics"
 	"lupine/internal/simclock"
+	"lupine/internal/slo"
 	"lupine/internal/snapshot"
 	"lupine/internal/vmm"
 )
@@ -91,6 +92,8 @@ type surgeResult struct {
 	AggRSS       int64 // pool memory: shared base + dirty pages + cold copies
 	NaiveRSS     int64 // what the same pool would cost without CoW sharing
 	Res          fleet.Result
+
+	scope *slo.Scope // SLO scope, set on the storm row only
 }
 
 // TimeToCapacity is how long after traffic start the pool reached Max
@@ -129,6 +132,7 @@ func surgeCapture(u *core.Unikernel) (*snapshot.Snapshot, simclock.Duration, int
 // snapshot plane's seeded fault storm against the restores.
 func runSurgeVariant(name string, snap *snapshot.Snapshot, faulty bool, coldBoot simclock.Duration, coldRSS int64, tl func() fleet.Timeline) (surgeResult, error) {
 	res := surgeResult{System: name, Snapshots: snap != nil, ColdBoot: coldBoot, ColdRSS: coldRSS}
+	tr, reg := activeTrace, activeMetrics
 	var (
 		cs   *snapshot.CloneSet
 		sinj *faults.Injector
@@ -152,7 +156,7 @@ func runSurgeVariant(name string, snap *snapshot.Snapshot, faulty bool, coldBoot
 		if snap == nil {
 			return fleet.Launch{Ready: coldBoot, Timeline: timeline()}
 		}
-		rr := snap.RestoreObserved(mon, sinj, now, coldBoot, activeTrace, "surge/"+name)
+		rr := snap.RestoreObserved(mon, sinj, now, coldBoot, tr, "surge/"+name)
 		if !rr.Restored {
 			res.Fallbacks++
 			return fleet.Launch{Ready: rr.Ready, Timeline: timeline()}
@@ -177,12 +181,29 @@ func runSurgeVariant(name string, snap *snapshot.Snapshot, faulty bool, coldBoot
 	for i := 0; i < surgeMin; i++ {
 		backends = append(backends, fleet.NewBackend(fmt.Sprintf("vm%d", i), timeline()))
 	}
+	// The storm row's SLO scope: the spike's ramp and the seeded restore
+	// faults both show up as availability burn, attributed to the
+	// snapshot plane's fire log.
+	track := "surge/" + name
+	if faulty {
+		tr, reg = sloTelemetry()
+		res.scope = slo.NewScope(track, reg, tr, sloEvery)
+		res.scope.Add(sloAvailability(track, 0.95, slo.DefaultRules(simclock.Millisecond, 8, 3)))
+		res.scope.Add(sloLatency(track, 2*simclock.Millisecond, 0.9, slo.DefaultRules(simclock.Millisecond, 5, 2)))
+		res.scope.SetInjector(sinj)
+	}
 	if sinj != nil {
-		sinj.Observe(activeTrace, "surge/"+name)
+		sinj.Observe(tr, track)
 	}
 	f := fleet.NewAutoscaled(cfg, backends, surgePolicy(provision), nil, nil)
-	f.Observe(activeTrace, activeMetrics, "surge/"+name)
+	f.Observe(tr, reg, track)
+	if res.scope != nil {
+		res.scope.Bind(f.Clock())
+	}
 	res.Res = f.Run()
+	if res.scope != nil {
+		res.scope.Finish(res.Res.End)
+	}
 
 	// Pool memory at peak: cold instances (the initial pool and every
 	// cold-boot launch) each pay a full RSS; restored clones share the
@@ -248,6 +269,7 @@ func runSurgeStorm() ([]surgeResult, error) {
 			if err != nil {
 				return nil, err
 			}
+			sloRecord("surge", stormy.scope)
 			out = append(out, stormy)
 		}
 		without, err := runSurgeVariant(r.name, nil, false, coldBoot, coldRSS, nil)

@@ -166,9 +166,22 @@ type Injector struct {
 	ruleHits []int // in-window hits seen per rule
 	fired    []int // fires per rule
 	total    int
+	fires    []Fire // every fire, in virtual-time order
 
 	tr      *telemetry.Tracer
 	trTrack string
+}
+
+// Fire is one fault firing on the timeline: which site, which rule of
+// the plan, with what payload, and when. The injector keeps the full
+// log so post-hoc consumers — the SLO plane's incident attribution in
+// particular — can correlate an alert window against the storm that
+// caused it without replaying the run.
+type Fire struct {
+	Site  string
+	Rule  int
+	Param int64
+	At    simclock.Time
 }
 
 // New builds an injector for the plan, validating it first.
@@ -223,10 +236,13 @@ func (inj *Injector) Hit(site string, now simclock.Time) Decision {
 			out = Decision{Fire: true, Param: r.Param, Rule: i}
 		}
 	}
-	if out.Fire && inj.tr != nil {
-		inj.tr.Instant("faults", inj.trTrack, site, now,
-			telemetry.A("rule", strconv.Itoa(out.Rule)),
-			telemetry.A("param", strconv.FormatInt(out.Param, 10)))
+	if out.Fire {
+		inj.fires = append(inj.fires, Fire{Site: site, Rule: out.Rule, Param: out.Param, At: now})
+		if inj.tr != nil {
+			inj.tr.Instant("faults", inj.trTrack, site, now,
+				telemetry.A("rule", strconv.Itoa(out.Rule)),
+				telemetry.A("param", strconv.FormatInt(out.Param, 10)))
+		}
 	}
 	return out
 }
@@ -239,6 +255,17 @@ func (inj *Injector) Observe(tr *telemetry.Tracer, track string) {
 	}
 	inj.tr = tr
 	inj.trTrack = track
+}
+
+// Fires returns the fire log so far: every firing in virtual-time
+// order, as recorded. The slice is a copy; nil injectors log nothing.
+func (inj *Injector) Fires() []Fire {
+	if inj == nil {
+		return nil
+	}
+	out := make([]Fire, len(inj.fires))
+	copy(out, inj.fires)
+	return out
 }
 
 // TotalFired reports how many faults the injector has fired so far.

@@ -238,3 +238,30 @@ func TestSuppressedNthHitIsLostNotDeferred(t *testing.T) {
 		t.Errorf("total fired %d, want 1", inj.TotalFired())
 	}
 }
+
+// Every fire lands in the injector's timestamped log, in hit order,
+// carrying the winning rule and payload — the SLO plane's incident
+// attribution reads this instead of replaying the run.
+func TestFireLogRecordsEveryFiring(t *testing.T) {
+	inj := MustNew(Plan{Rules: []Rule{
+		{Site: "test/alpha", NthHit: 2, Param: 7},
+		{Site: "test/beta", NthHit: 1, Param: 3},
+	}})
+	inj.Hit("test/alpha", 10)
+	inj.Hit("test/beta", 20)
+	inj.Hit("test/alpha", 30)
+	fires := inj.Fires()
+	if len(fires) != 2 {
+		t.Fatalf("fires = %+v, want 2", fires)
+	}
+	if fires[0] != (Fire{Site: "test/beta", Rule: 1, Param: 3, At: 20}) {
+		t.Fatalf("fires[0] = %+v", fires[0])
+	}
+	if fires[1] != (Fire{Site: "test/alpha", Rule: 0, Param: 7, At: 30}) {
+		t.Fatalf("fires[1] = %+v", fires[1])
+	}
+	var nilInj *Injector
+	if nilInj.Fires() != nil {
+		t.Fatal("nil injector must log nothing")
+	}
+}

@@ -433,6 +433,18 @@ func (f *Fleet) Schedule(at simclock.Time, fn func(now simclock.Time)) { f.sched
 // Net exposes the fabric under the pool for tables and tests.
 func (f *Fleet) Net() *fabric.Network { return f.net }
 
+// Clock exposes the fleet's own clock so observers (the SLO plane's
+// rolling-window samplers) can register aligned-interval callbacks that
+// fire as Run advances virtual time. Attached fleets have no clock of
+// their own — the owning engine drives time — so Clock returns nil
+// there; sample the owner's clock instead.
+func (f *Fleet) Clock() *simclock.Clock {
+	if f.ext != nil {
+		return nil
+	}
+	return f.clk
+}
+
 // Run plays the whole workload and returns the result. Deterministic:
 // the only inputs are the config, the backend timelines, the upgrade
 // plan, and the injector's plan and seed.

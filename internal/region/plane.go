@@ -203,6 +203,12 @@ func New(cfg Config, inj *faults.Injector) *Plane {
 // Now and Schedule implement fabric.Scheduler.
 func (p *Plane) Now() simclock.Time { return p.clk.Now() }
 
+// Clock exposes the plane's clock so observers (the SLO plane's
+// rolling-window samplers) can register aligned-interval callbacks that
+// fire as Run advances virtual time. Every attached cell shares this
+// clock, so one sampler sees the whole multi-region run.
+func (p *Plane) Clock() *simclock.Clock { return p.clk }
+
 // Schedule enqueues fn at virtual time at (never before now).
 func (p *Plane) Schedule(at simclock.Time, fn func(now simclock.Time)) { p.schedule(at, fn) }
 
@@ -229,7 +235,7 @@ func (p *Plane) Observe(tr *telemetry.Tracer, mreg *telemetry.Registry, track st
 	p.tr = tr
 	p.trTrack = track
 	if p.atk != nil {
-		p.atk.Observe(tr, track)
+		p.atk.Observe(tr, mreg, track)
 	}
 	for _, r := range p.regions {
 		r.fl.Observe(tr, mreg, track+"/"+r.name)

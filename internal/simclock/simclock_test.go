@@ -134,3 +134,95 @@ func TestAdvanceMonotonicProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSampleFiresOnAlignedBoundaries(t *testing.T) {
+	c := New()
+	var at []Time
+	c.Sample(10, func(now Time) {
+		at = append(at, now)
+		if c.Now() != now {
+			t.Fatalf("sampler sees clock at %v, boundary %v", c.Now(), now)
+		}
+	})
+	c.AdvanceTo(35)
+	want := []Time{10, 20, 30}
+	if len(at) != len(want) {
+		t.Fatalf("boundaries = %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("boundaries = %v, want %v", at, want)
+		}
+	}
+	if c.Now() != 35 {
+		t.Fatalf("clock ends at %v, want 35", c.Now())
+	}
+}
+
+func TestSampleNoBoundaryAtZero(t *testing.T) {
+	c := New()
+	fired := 0
+	c.Sample(10, func(Time) { fired++ })
+	c.AdvanceTo(0)
+	c.Advance(0)
+	if fired != 0 {
+		t.Fatalf("sampler fired %d times without the clock crossing a boundary", fired)
+	}
+	c.Advance(10)
+	if fired != 1 {
+		t.Fatalf("sampler fired %d times after reaching t=10, want 1", fired)
+	}
+}
+
+func TestSampleBoundaryEqualToTargetFires(t *testing.T) {
+	c := New()
+	var at []Time
+	c.Sample(10, func(now Time) { at = append(at, now) })
+	c.AdvanceTo(10) // boundary exactly at the advance target
+	if len(at) != 1 || at[0] != 10 {
+		t.Fatalf("boundaries = %v, want [10]", at)
+	}
+	c.AdvanceTo(10) // no further movement, no re-fire
+	if len(at) != 1 {
+		t.Fatalf("boundary re-fired on a zero-width advance: %v", at)
+	}
+}
+
+func TestSampleRegisteredMidRunStartsStrictlyAfterNow(t *testing.T) {
+	c := New()
+	c.AdvanceTo(25)
+	var at []Time
+	c.Sample(10, func(now Time) { at = append(at, now) })
+	c.AdvanceTo(45)
+	want := []Time{30, 40}
+	if len(at) != len(want) || at[0] != want[0] || at[1] != want[1] {
+		t.Fatalf("boundaries = %v, want %v", at, want)
+	}
+}
+
+func TestSampleMultipleSamplersFireInTimeOrder(t *testing.T) {
+	c := New()
+	var log []string
+	c.Sample(10, func(now Time) { log = append(log, "a@"+now.String()) })
+	c.Sample(15, func(now Time) { log = append(log, "b@"+now.String()) })
+	c.AdvanceTo(30)
+	want := []string{"a@" + Time(10).String(), "b@" + Time(15).String(),
+		"a@" + Time(20).String(), "a@" + Time(30).String(), "b@" + Time(30).String()}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestSampleNonPositiveIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample(0) did not panic")
+		}
+	}()
+	New().Sample(0, func(Time) {})
+}

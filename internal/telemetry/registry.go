@@ -163,6 +163,22 @@ func (h *Histogram) Sum() int64 {
 	return h.sum.Load()
 }
 
+// Snapshot copies the histogram's current bucket state: the zero-bucket
+// count, the 64 log2 buckets (bucket i counts samples in [2^i, 2^(i+1))
+// ns) and the total sample count. A nil histogram snapshots to zeros.
+// Consumers diff two snapshots to window a live histogram — the SLO
+// plane's rolling latency SLIs are built on exactly that.
+func (h *Histogram) Snapshot() (zero int64, buckets [64]int64, count int64) {
+	if h == nil {
+		return 0, buckets, 0
+	}
+	zero = h.zero.Load()
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return zero, buckets, h.count.Load()
+}
+
 // Percentile estimates the p-th percentile in nanoseconds using the
 // same nearest-rank rule as metrics.Percentile, answered at bucket
 // resolution: the upper edge 2^(i+1)-1 of the owning bucket (see the

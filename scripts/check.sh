@@ -22,13 +22,14 @@ go test -race ./...
 # The concurrency-sensitive planes (fleet event engine, network fabric,
 # supervisor, snapshot store, memory accountant, guest balloon,
 # telemetry plane, multi-region control plane, build pipeline + farm,
-# attack plane) get a second racing pass with fresh test binaries:
-# -count=2 defeats result caching and shakes out run-to-run
+# attack plane, SLO plane) get a second racing pass with fresh test
+# binaries: -count=2 defeats result caching and shakes out run-to-run
 # nondeterminism the bit-for-bit replay guarantees forbid.
-echo "== go test -race -count=2 (fleet, fabric, vmm, snapshot, hostmem, guest, telemetry, region, bunny, farm, attack)"
+echo "== go test -race -count=2 (fleet, fabric, vmm, snapshot, hostmem, guest, telemetry, region, bunny, farm, attack, slo)"
 go test -race -count=2 ./internal/fleet/... ./internal/fabric/... ./internal/vmm/... \
     ./internal/snapshot/... ./internal/hostmem/... ./internal/guest/... ./internal/telemetry/... \
-    ./internal/region/... ./internal/bunny/... ./internal/farm/... ./internal/attack/...
+    ./internal/region/... ./internal/bunny/... ./internal/farm/... ./internal/attack/... \
+    ./internal/slo/...
 
 # Every registered fault site must surface in the operator-facing
 # catalog: the count of RegisterSite calls in non-test source must match
@@ -97,6 +98,18 @@ go run ./cmd/lupine-bench -run breach -trace-out="$tracedir/bb.json" >/dev/null
 cmp "$tracedir/ba.json" "$tracedir/bb.json"
 go run ./scripts/jsoncheck.go "$tracedir/ba.json"
 echo "   byte-identical and valid JSON"
+
+# SLO report determinism gate: two same-seed memstorm runs must export
+# byte-identical SLO reports (objectives, burns, alerts, incident cause
+# chains) and byte-identical OpenMetrics text — the SLO plane's own
+# virtual-time-only contract, one layer above the traces.
+echo "== SLO report determinism (memstorm, two same-seed runs)"
+go run ./cmd/lupine-bench -run memstorm -slo-out="$tracedir/sa.json" -metrics-out="$tracedir/ma.json" >/dev/null
+go run ./cmd/lupine-bench -run memstorm -slo-out="$tracedir/sb.json" -metrics-out="$tracedir/mb.json" >/dev/null
+cmp "$tracedir/sa.json" "$tracedir/sb.json"
+cmp "$tracedir/ma.json.prom" "$tracedir/mb.json.prom"
+go run ./scripts/jsoncheck.go "$tracedir/sa.json"
+echo "   byte-identical SLO report and OpenMetrics export, valid JSON"
 
 # Wall-clock trajectory samples: how fast this machine's event engine
 # chews through the storms, with the headline availability (and p99 /
